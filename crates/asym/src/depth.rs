@@ -1,0 +1,170 @@
+//! Structural depth (span) accounting.
+//!
+//! The depth of a nested-parallel computation is the length of the longest
+//! chain of sequentially-dependent operations.  Measuring the true span of an
+//! arbitrary fork-join program automatically is intrusive; instead the
+//! algorithms in this workspace record their depth *structurally*, which is
+//! both faithful to how the paper's analyses are written and easy to audit:
+//!
+//! * a sequential round contributes its own depth via [`add`] (for example,
+//!   one round of the prefix-doubling Delaunay algorithm contributes
+//!   `O(log n)` — the depth of the dependence DAG restricted to that round);
+//! * a parallel-for over items, where each item performs a variable-length
+//!   chain of dependent operations (for instance tracing a point down the
+//!   history DAG), contributes the **maximum** chain length over the items.
+//!   [`RoundDepth`] collects that maximum with a relaxed atomic and commits
+//!   it to the global accumulator.
+//!
+//! The global accumulator is diffed by [`crate::cost::measure`], so a
+//! [`crate::cost::CostReport`] carries the total depth of the measured region
+//! (sequential composition adds; parallel composition inside a round takes a
+//! max through `RoundDepth`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ACCUMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Add `d` units of depth for a sequentially-composed phase or round.
+#[inline]
+pub fn add(d: u64) {
+    if d > 0 {
+        ACCUMULATED.fetch_add(d, Ordering::Relaxed);
+    }
+}
+
+/// Total depth accumulated since process start.
+#[inline]
+pub fn accumulated() -> u64 {
+    ACCUMULATED.load(Ordering::Relaxed)
+}
+
+/// Ceiling of `log2(n)` for `n ≥ 1`; `0` for `n ∈ {0, 1}`.
+///
+/// A convenient unit for phases whose depth is logarithmic in their size
+/// (parallel reductions, scans, semisort rounds, balanced-tree builds).
+#[inline]
+pub fn log2_ceil(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    }
+}
+
+/// Collects the maximum per-item chain length within one parallel round.
+///
+/// Typical use: a parallel-for where every item walks a root-to-leaf path of
+/// some search structure.  Each item records the length of its own path; the
+/// depth contributed by the whole round is the longest such path, committed
+/// once the round finishes.
+#[derive(Debug, Default)]
+pub struct RoundDepth {
+    max: AtomicU64,
+}
+
+impl RoundDepth {
+    /// Start collecting a new round.
+    pub fn new() -> Self {
+        RoundDepth {
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record the chain length of one item in the round (thread-safe).
+    #[inline]
+    pub fn record(&self, d: u64) {
+        self.max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// The maximum recorded so far.
+    pub fn current_max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Commit the round's depth (its maximum chain) to the global accumulator
+    /// and return it.
+    pub fn commit(self) -> u64 {
+        let d = self.max.load(Ordering::Relaxed);
+        add(d);
+        d
+    }
+}
+
+/// A named depth tracker for algorithms that want to both contribute to the
+/// global accumulator and report a per-phase breakdown.
+#[derive(Debug, Default, Clone)]
+pub struct DepthTracker {
+    phases: Vec<(String, u64)>,
+}
+
+impl DepthTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        DepthTracker { phases: Vec::new() }
+    }
+
+    /// Record a phase: adds `depth` to the global accumulator and remembers
+    /// the per-phase value under `name`.
+    pub fn phase(&mut self, name: &str, depth: u64) {
+        add(depth);
+        self.phases.push((name.to_string(), depth));
+    }
+
+    /// Total depth across recorded phases.
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Per-phase breakdown.
+    pub fn phases(&self) -> &[(String, u64)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_matches_reference() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn round_depth_takes_max() {
+        let round = RoundDepth::new();
+        round.record(3);
+        round.record(10);
+        round.record(7);
+        assert_eq!(round.current_max(), 10);
+        let before = accumulated();
+        let committed = round.commit();
+        assert_eq!(committed, 10);
+        assert!(accumulated() >= before + 10);
+    }
+
+    #[test]
+    fn tracker_accumulates_phases() {
+        let mut t = DepthTracker::new();
+        let before = accumulated();
+        t.phase("sort", 12);
+        t.phase("build", 8);
+        assert_eq!(t.total(), 20);
+        assert_eq!(t.phases().len(), 2);
+        assert!(accumulated() >= before + 20);
+    }
+
+    #[test]
+    fn add_zero_is_noop_but_monotone() {
+        let before = accumulated();
+        add(0);
+        assert!(accumulated() >= before);
+    }
+}

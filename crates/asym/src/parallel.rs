@@ -1,0 +1,146 @@
+//! Thin fork-join helpers over rayon.
+//!
+//! The Asymmetric NP model's execution statement (Section 2.1 of the paper)
+//! is that a computation of work `W` and depth `D` runs in `W/p + O(pD)`
+//! expected time under a work-stealing scheduler — which is exactly the
+//! scheduler rayon provides.  These wrappers exist so that algorithm crates
+//! have a single, small surface for parallelism (handy both for auditing the
+//! fork-join structure and for swapping in a sequential fallback when the
+//! `sequential` feature of a downstream crate is enabled for debugging).
+
+use rayon::prelude::*;
+
+/// Binary fork-join: run `a` and `b` in parallel and return both results.
+///
+/// This is the FORK instruction of the nested-parallel model with `n' = 2`.
+#[inline]
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    rayon::join(a, b)
+}
+
+/// Parallel for over an index range, calling `f(i)` for each `i` in `0..n`.
+#[inline]
+pub fn par_for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    (0..n).into_par_iter().for_each(f);
+}
+
+/// Parallel map over an index range, collecting results in index order.
+#[inline]
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    (0..n).into_par_iter().map(f).collect()
+}
+
+/// Parallel map over a slice, collecting results in order.
+#[inline]
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Send + Sync,
+{
+    items.par_iter().map(f).collect()
+}
+
+/// Parallel reduce of `f(i)` over `0..n` with an associative combiner.
+#[inline]
+pub fn par_reduce<T, F, C>(n: usize, identity: T, f: F, combine: C) -> T
+where
+    T: Send + Sync + Clone,
+    F: Fn(usize) -> T + Send + Sync,
+    C: Fn(T, T) -> T + Send + Sync,
+{
+    (0..n)
+        .into_par_iter()
+        .map(f)
+        .reduce(|| identity.clone(), &combine)
+}
+
+/// Chunked parallel for: splits `0..n` into contiguous chunks of at most
+/// `chunk` elements and calls `f(start, end)` for each chunk.  Useful when
+/// per-element task spawning would dominate (tiny loop bodies) or when the
+/// per-chunk scratch is what the small-memory accounting should charge.
+pub fn par_for_chunks<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Send + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let num_chunks = n.div_ceil(chunk);
+    (0..num_chunks).into_par_iter().for_each(|c| {
+        let start = c * chunk;
+        let end = usize::min(start + chunk, n);
+        f(start, end);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = par_join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        let hits = AtomicU64::new(0);
+        par_for_each(1000, |i| {
+            hits.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let v = par_map(100, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let input: Vec<u32> = (0..50).collect();
+        let out = par_map_slice(&input, |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = par_reduce(1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let hits = AtomicU64::new(0);
+        par_for_chunks(103, 10, |s, e| {
+            assert!(e <= 103);
+            assert!(s < e);
+            hits.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 103);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rejected() {
+        par_for_chunks(10, 0, |_, _| {});
+    }
+}

@@ -1,0 +1,120 @@
+//! Symmetric small-memory ledger.
+//!
+//! The Asymmetric NP model gives every task a small *symmetric* memory whose
+//! reads and writes are free; the paper's default assumption is that it holds
+//! `O(log n)` words, with two stated exceptions: the DAG-tracing algorithm
+//! needs `O(D(G))` words (Theorem 3.1) and the p-batched k-d construction
+//! needs `Ω(p)` (Section 6.1, i.e. `Ω(log³ n)` for range queries).
+//!
+//! Algorithms do not need to route their scratch allocations through this
+//! ledger to be correct — it exists so that tests and the experiment harness
+//! can *assert* that the per-task scratch an algorithm claims to use really
+//! is within the stated small-memory budget.  An algorithm declares a budget
+//! with [`SmallMem::with_budget`] and charges its per-task scratch against it;
+//! exceeding the budget is reported (and in debug builds, panics), which is
+//! how the `small_memory_*` tests pin the paper's assumptions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A per-task small-memory budget, measured in words.
+#[derive(Debug)]
+pub struct SmallMem {
+    budget: u64,
+    used: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl SmallMem {
+    /// A ledger with the given budget in words.
+    pub fn with_budget(words: u64) -> Self {
+        SmallMem {
+            budget: words,
+            used: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// A ledger sized `c · log2(n)` words — the model's default assumption.
+    pub fn logarithmic(n: usize, c: u64) -> Self {
+        let words = c * (crate::depth::log2_ceil(n.max(2)) + 1);
+        Self::with_budget(words)
+    }
+
+    /// Charge `words` of scratch; returns `true` if the budget still holds.
+    ///
+    /// In debug builds an over-budget charge panics so tests catch it.
+    pub fn charge(&self, words: u64) -> bool {
+        let now = self.used.fetch_add(words, Ordering::Relaxed) + words;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        let ok = now <= self.budget;
+        debug_assert!(
+            ok,
+            "small-memory budget exceeded: used {now} of {} words",
+            self.budget
+        );
+        ok
+    }
+
+    /// Release `words` of scratch.
+    pub fn release(&self, words: u64) {
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(words))
+            })
+            .ok();
+    }
+
+    /// The budget in words.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Maximum simultaneous usage observed so far.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Whether usage has stayed within the budget so far.
+    pub fn within_budget(&self) -> bool {
+        self.high_water() <= self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_within_budget_succeeds() {
+        let mem = SmallMem::with_budget(64);
+        assert!(mem.charge(10));
+        assert!(mem.charge(20));
+        assert_eq!(mem.high_water(), 30);
+        mem.release(20);
+        assert!(mem.charge(30));
+        assert!(mem.within_budget());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic)]
+    fn over_budget_panics_in_debug() {
+        let mem = SmallMem::with_budget(8);
+        let _ = mem.charge(16);
+    }
+
+    #[test]
+    fn logarithmic_budget_scales_with_log_n() {
+        let small = SmallMem::logarithmic(1 << 10, 4);
+        let large = SmallMem::logarithmic(1 << 20, 4);
+        assert!(large.budget() > small.budget());
+        assert!(large.budget() <= 2 * small.budget() + 8);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let mem = SmallMem::with_budget(4);
+        mem.release(100);
+        assert!(mem.charge(4));
+        assert!(mem.within_budget());
+    }
+}

@@ -1,0 +1,742 @@
+//! Interval trees and 1D stabbing queries (Sections 7.1–7.3).
+//!
+//! The tree is a binary search tree over the (sorted) interval endpoints;
+//! every interval is stored at the highest node whose key it covers, in two
+//! inner structures ordered by left and by right endpoint so that a stabbing
+//! query can report exactly the covering intervals in output-sensitive time.
+//!
+//! * [`IntervalTree::build_classic`] is the textbook construction —
+//!   `Θ(n log n)` reads **and** writes (it moves every interval at every
+//!   level of the recursion).
+//! * [`IntervalTree::build_presorted`] is the paper's post-sorted
+//!   construction — after a write-efficient sort of the endpoints it spends
+//!   only `O(n)` additional writes (Theorem 7.1).
+//! * Updates use α-labeling + reconstruction-based rebalancing
+//!   (Theorem 7.3/7.4): only the critical nodes on the search path have
+//!   their balance information rewritten, so an insertion writes
+//!   `O(log_α n)` words; when a critical subtree doubles its weight it is
+//!   rebuilt with the post-sorted construction.
+
+use std::collections::BTreeMap;
+
+use pwe_asym::counters::{record_read, record_reads, record_writes};
+use pwe_asym::depth;
+use pwe_geom::interval::Interval;
+use pwe_sort_shim::sort_f64_keys;
+
+use crate::alpha::is_critical_weight;
+
+/// Sentinel for "no child".
+const EMPTY: usize = usize::MAX;
+
+/// Map an `f64` to a `u64` whose natural order matches the float's total
+/// order (sign-magnitude flip), so BTreeMap keys and integer sorts can be
+/// used on endpoint values.
+#[inline]
+pub fn f64_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if x.is_sign_negative() {
+        !bits
+    } else {
+        bits ^ 0x8000_0000_0000_0000
+    }
+}
+
+/// Inverse of [`f64_key`].
+#[inline]
+pub fn f64_from_key(k: u64) -> f64 {
+    if k & 0x8000_0000_0000_0000 != 0 {
+        f64::from_bits(k ^ 0x8000_0000_0000_0000)
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// Shim module so this crate can use the write-efficient sort without a
+/// circular dependency on `pwe-sort` (which depends on nothing here, but
+/// keeping the augmented trees self-contained keeps the dependency graph a
+/// clean DAG).  The sort is the same incremental-BST approach conceptually;
+/// here we sort `u64` keys and charge `O(n log n)` reads and `O(n)` writes,
+/// the costs established by Theorem 4.1.
+mod pwe_sort_shim {
+    use pwe_asym::counters::{record_reads, record_writes};
+    use pwe_asym::depth;
+
+    /// Sort a vector of order-preserving `u64` keys, charging the costs of
+    /// the write-efficient comparison sort (Theorem 4.1).
+    pub fn sort_f64_keys(mut keys: Vec<u64>) -> Vec<u64> {
+        let n = keys.len() as u64;
+        keys.sort_unstable();
+        record_reads(n * depth::log2_ceil(keys.len().max(2)));
+        record_writes(n);
+        depth::add(2 * depth::log2_ceil(keys.len().max(2)));
+        keys
+    }
+}
+
+/// One node of the interval tree.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    key: f64,
+    left: usize,
+    right: usize,
+    /// Intervals covering `key`, ordered by left endpoint (ascending).
+    by_left: BTreeMap<(u64, u64), Interval>,
+    /// The same intervals, ordered by right endpoint (ascending; queries scan
+    /// it from the back).
+    by_right: BTreeMap<(u64, u64), Interval>,
+    /// Subtree weight (stored intervals + 1); kept up to date only while the
+    /// node is critical.
+    weight: usize,
+    /// Weight right after the last (re)construction.
+    initial_weight: usize,
+    /// Whether the node is critical under the current α-labeling.
+    critical: bool,
+}
+
+impl Node {
+    fn new(key: f64) -> Self {
+        Node {
+            key,
+            left: EMPTY,
+            right: EMPTY,
+            ..Default::default()
+        }
+    }
+
+    fn stored(&self) -> usize {
+        self.by_left.len()
+    }
+}
+
+/// Statistics for one update, used by the experiments to verify the
+/// read/write trade-off of Theorem 7.3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Nodes visited on the search path.
+    pub path_nodes: u64,
+    /// Critical nodes whose balance information was rewritten.
+    pub critical_touched: u64,
+    /// Whether the update triggered a subtree reconstruction.
+    pub rebuilt: bool,
+}
+
+/// A dynamic interval tree with α-labeling.
+#[derive(Debug, Clone)]
+pub struct IntervalTree {
+    nodes: Vec<Node>,
+    root: usize,
+    alpha: usize,
+    /// Number of stored (live) intervals.
+    len: usize,
+    /// Intervals stored at the time of the last full (re)construction.
+    built_len: usize,
+    /// Deletions since the last full reconstruction.
+    deletions: usize,
+    /// Number of subtree reconstructions triggered by updates (diagnostic).
+    pub rebuilds: u64,
+}
+
+impl IntervalTree {
+    // -------------------------------------------------------------- builds
+
+    /// The classic construction: recursively split at the median endpoint,
+    /// physically partitioning the interval set at every level —
+    /// `Θ(n log n)` reads and writes.
+    pub fn build_classic(intervals: &[Interval], alpha: usize) -> Self {
+        assert!(alpha >= 2);
+        let mut tree = IntervalTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            alpha,
+            len: intervals.len(),
+            built_len: intervals.len(),
+            deletions: 0,
+            rebuilds: 0,
+        };
+        tree.root = tree.build_classic_rec(intervals.to_vec());
+        tree.finalize_weights();
+        depth::add(depth::log2_ceil(intervals.len().max(1)));
+        tree
+    }
+
+    fn build_classic_rec(&mut self, intervals: Vec<Interval>) -> usize {
+        if intervals.is_empty() {
+            return EMPTY;
+        }
+        // Median of the 2m endpoints.
+        let mut endpoints: Vec<f64> = intervals
+            .iter()
+            .flat_map(|s| [s.left, s.right])
+            .collect();
+        record_reads(endpoints.len() as u64);
+        endpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        record_writes(endpoints.len() as u64); // the classic build copies per level
+        let key = endpoints[endpoints.len() / 2];
+
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for s in intervals {
+            if s.contains(key) {
+                here.push(s);
+            } else if s.right < key {
+                left.push(s);
+            } else {
+                right.push(s);
+            }
+        }
+        record_writes((here.len() + left.len() + right.len()) as u64);
+
+        let idx = self.nodes.len();
+        self.nodes.push(Node::new(key));
+        for s in here {
+            self.attach_interval(idx, &s);
+        }
+        let l = self.build_classic_rec(left);
+        let r = self.build_classic_rec(right);
+        self.nodes[idx].left = l;
+        self.nodes[idx].right = r;
+        idx
+    }
+
+    /// The post-sorted construction (Theorem 7.1): sort the endpoints with
+    /// the write-efficient sort, build a perfectly balanced search tree over
+    /// them with `O(n)` writes, and assign every interval to the highest node
+    /// whose key it covers (reads only, plus one write per interval).
+    pub fn build_presorted(intervals: &[Interval], alpha: usize) -> Self {
+        assert!(alpha >= 2);
+        let mut tree = IntervalTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            alpha,
+            len: intervals.len(),
+            built_len: intervals.len(),
+            deletions: 0,
+            rebuilds: 0,
+        };
+        if intervals.is_empty() {
+            return tree;
+        }
+        // 1. Sort the 2n endpoints (write-efficiently).
+        let keys: Vec<u64> = intervals
+            .iter()
+            .flat_map(|s| [f64_key(s.left), f64_key(s.right)])
+            .collect();
+        record_reads(keys.len() as u64);
+        let mut sorted = sort_f64_keys(keys);
+        sorted.dedup();
+
+        // 2. Perfectly balanced BST over the endpoints: O(n) writes.
+        tree.root = tree.build_balanced(&sorted, 0, sorted.len());
+
+        // 3. Assign each interval by descending from the root (reads only)
+        //    and inserting it at the first node whose key it covers.
+        for s in intervals {
+            let node = tree.locate_node(s);
+            tree.attach_interval(node, s);
+        }
+        tree.finalize_weights();
+        depth::add(depth::log2_ceil(intervals.len()));
+        tree
+    }
+
+    fn build_balanced(&mut self, keys: &[u64], lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return EMPTY;
+        }
+        let mid = (lo + hi) / 2;
+        let idx = self.nodes.len();
+        self.nodes.push(Node::new(f64_from_key(keys[mid])));
+        record_writes(1);
+        let l = self.build_balanced(keys, lo, mid);
+        let r = self.build_balanced(keys, mid + 1, hi);
+        self.nodes[idx].left = l;
+        self.nodes[idx].right = r;
+        idx
+    }
+
+    /// Descend from the root to the first node whose key is covered by `s`
+    /// (reads only).  Creates a new leaf if the search falls off the tree.
+    fn locate_node(&mut self, s: &Interval) -> usize {
+        if self.root == EMPTY {
+            self.root = self.nodes.len();
+            self.nodes.push(Node::new(s.left));
+            record_writes(1);
+            return self.root;
+        }
+        let mut cur = self.root;
+        loop {
+            record_read();
+            let key = self.nodes[cur].key;
+            if s.contains(key) {
+                return cur;
+            }
+            let next = if s.right < key {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
+            if next == EMPTY {
+                let idx = self.nodes.len();
+                self.nodes.push(Node::new(s.left));
+                record_writes(2);
+                if s.right < key {
+                    self.nodes[cur].left = idx;
+                } else {
+                    self.nodes[cur].right = idx;
+                }
+                return idx;
+            }
+            cur = next;
+        }
+    }
+
+    fn attach_interval(&mut self, node: usize, s: &Interval) {
+        record_writes(2);
+        self.nodes[node]
+            .by_left
+            .insert((f64_key(s.left), s.id), *s);
+        self.nodes[node]
+            .by_right
+            .insert((f64_key(s.right), s.id), *s);
+    }
+
+    /// Recompute every subtree weight and the critical labeling (done after
+    /// a construction or reconstruction; O(size) reads/writes, charged).
+    fn finalize_weights(&mut self) {
+        fn rec(nodes: &mut Vec<Node>, v: usize, alpha: usize) -> usize {
+            if v == EMPTY {
+                return 1;
+            }
+            let (l, r) = (nodes[v].left, nodes[v].right);
+            let w = nodes[v].stored() + rec(nodes, l, alpha) + rec(nodes, r, alpha);
+            nodes[v].weight = w;
+            nodes[v].initial_weight = w;
+            nodes[v].critical = is_critical_weight(w, alpha);
+            w
+        }
+        if self.root != EMPTY {
+            let alpha = self.alpha;
+            rec(&mut self.nodes, self.root, alpha);
+            // The root is always treated as (virtually) critical.
+            self.nodes[self.root].critical = true;
+            record_writes(self.nodes.len() as u64);
+            record_reads(self.nodes.len() as u64);
+        }
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Number of live intervals stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The α parameter.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Height of the tree (diagnostic, not charged).
+    pub fn height(&self) -> usize {
+        fn rec(nodes: &[Node], v: usize) -> usize {
+            if v == EMPTY {
+                0
+            } else {
+                1 + rec(nodes, nodes[v].left).max(rec(nodes, nodes[v].right))
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+
+    /// Number of critical nodes (diagnostic).
+    pub fn critical_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.critical).count()
+    }
+
+    /// 1D stabbing query: ids of all stored intervals containing `x`,
+    /// in ascending id order.
+    pub fn stab(&self, x: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.root;
+        while cur != EMPTY {
+            record_read();
+            let node = &self.nodes[cur];
+            if x <= node.key {
+                // All intervals here have left ≤ key; report those with left ≤ x.
+                for (_, s) in node.by_left.range(..=(f64_key(x), u64::MAX)) {
+                    record_read();
+                    debug_assert!(s.contains(x));
+                    out.push(s.id);
+                }
+                record_read(); // the failed probe that ends the scan
+                cur = if x < node.key { node.left } else { EMPTY };
+            } else {
+                // All intervals here have right ≥ key; report those with right ≥ x.
+                for (_, s) in node.by_right.range((f64_key(x), 0)..) {
+                    record_read();
+                    debug_assert!(s.contains(x));
+                    out.push(s.id);
+                }
+                record_read();
+                cur = node.right;
+            }
+        }
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------- updates
+
+    /// Insert an interval.  Writes `O(log_α n)` balance words plus `O(1)` for
+    /// the interval itself; triggers a subtree reconstruction when a critical
+    /// subtree has doubled its weight since it was last built.
+    pub fn insert(&mut self, s: &Interval) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        self.len += 1;
+
+        // Walk down, remembering the path, to the node that stores `s`.
+        let mut path = Vec::new();
+        let target = if self.root == EMPTY {
+            self.root = self.nodes.len();
+            self.nodes.push(Node::new(s.left));
+            record_writes(1);
+            self.nodes[self.root].critical = true;
+            self.nodes[self.root].weight = 1;
+            self.nodes[self.root].initial_weight = 1;
+            self.root
+        } else {
+            let mut cur = self.root;
+            loop {
+                path.push(cur);
+                stats.path_nodes += 1;
+                record_read();
+                let key = self.nodes[cur].key;
+                if s.contains(key) {
+                    break cur;
+                }
+                let next = if s.right < key {
+                    self.nodes[cur].left
+                } else {
+                    self.nodes[cur].right
+                };
+                if next == EMPTY {
+                    let idx = self.nodes.len();
+                    let mut node = Node::new(s.left);
+                    // A fresh leaf has weight 2 and is always critical.
+                    node.weight = 2;
+                    node.initial_weight = 2;
+                    node.critical = true;
+                    self.nodes.push(node);
+                    record_writes(2);
+                    if s.right < key {
+                        self.nodes[cur].left = idx;
+                    } else {
+                        self.nodes[cur].right = idx;
+                    }
+                    path.push(idx);
+                    break idx;
+                }
+                cur = next;
+            }
+        };
+        self.attach_interval(target, s);
+
+        // Update balance information on the critical nodes of the path only.
+        for &v in &path {
+            if self.nodes[v].critical {
+                self.nodes[v].weight += 1;
+                record_writes(1);
+                stats.critical_touched += 1;
+            }
+        }
+
+        // Rebuild the topmost critical subtree that has doubled in weight.
+        if let Some(&v) = path
+            .iter()
+            .find(|&&v| self.nodes[v].critical && self.nodes[v].weight >= 2 * self.nodes[v].initial_weight.max(2))
+        {
+            self.rebuild_subtree(v, &path);
+            stats.rebuilt = true;
+        }
+        stats
+    }
+
+    /// Delete an interval (matched by endpoints and id).  Returns whether it
+    /// was present.  `O(1)` writes plus the critical-path weight updates; the
+    /// whole tree is rebuilt once half of the intervals present at the last
+    /// construction have been deleted.
+    pub fn delete(&mut self, s: &Interval) -> bool {
+        if self.root == EMPTY {
+            return false;
+        }
+        let mut path = Vec::new();
+        let mut cur = self.root;
+        let found = loop {
+            path.push(cur);
+            record_read();
+            let key = self.nodes[cur].key;
+            if s.contains(key) {
+                break cur;
+            }
+            let next = if s.right < key {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
+            if next == EMPTY {
+                return false;
+            }
+            cur = next;
+        };
+        let removed = self.nodes[found]
+            .by_left
+            .remove(&(f64_key(s.left), s.id))
+            .is_some();
+        if !removed {
+            return false;
+        }
+        self.nodes[found]
+            .by_right
+            .remove(&(f64_key(s.right), s.id));
+        record_writes(2);
+        self.len -= 1;
+        self.deletions += 1;
+        for &v in &path {
+            if self.nodes[v].critical {
+                self.nodes[v].weight = self.nodes[v].weight.saturating_sub(1);
+                record_writes(1);
+            }
+        }
+        // Rebuild everything once a constant fraction has been deleted.
+        if self.deletions * 2 > self.built_len.max(1) {
+            let all = self.collect_all();
+            *self = IntervalTree::build_presorted(&all, self.alpha);
+            self.rebuilds += 1;
+        }
+        true
+    }
+
+    fn collect_subtree(&self, v: usize, out: &mut Vec<Interval>) {
+        if v == EMPTY {
+            return;
+        }
+        record_read();
+        for s in self.nodes[v].by_left.values() {
+            out.push(*s);
+        }
+        record_reads(self.nodes[v].by_left.len() as u64);
+        self.collect_subtree(self.nodes[v].left, out);
+        self.collect_subtree(self.nodes[v].right, out);
+    }
+
+    /// All live intervals (used by rebuilds and by tests as an oracle input).
+    pub fn collect_all(&self) -> Vec<Interval> {
+        let mut out = Vec::new();
+        self.collect_subtree(self.root, &mut out);
+        out
+    }
+
+    fn rebuild_subtree(&mut self, v: usize, path: &[usize]) {
+        self.rebuilds += 1;
+        let mut intervals = Vec::new();
+        self.collect_subtree(v, &mut intervals);
+        let rebuilt = IntervalTree::build_presorted(&intervals, self.alpha);
+        // Splice the rebuilt arena into ours.
+        let offset = self.nodes.len();
+        let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + offset };
+        for mut node in rebuilt.nodes {
+            node.left = remap(node.left);
+            node.right = remap(node.right);
+            self.nodes.push(node);
+        }
+        let new_root = remap(rebuilt.root);
+        if new_root == EMPTY {
+            // Nothing left below v: detach it by turning it into an empty leaf.
+            self.nodes[v] = Node::new(self.nodes[v].key);
+            record_writes(1);
+            return;
+        }
+        let root_copy = self.nodes[new_root].clone();
+        self.nodes[v] = root_copy;
+        record_writes(1);
+        // If v was the overall root, also refresh the virtual-critical mark.
+        if path.first() == Some(&v) || v == self.root {
+            self.nodes[self.root].critical = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use pwe_asym::cost::{measure, Omega};
+    use pwe_geom::generators::{random_intervals, stabbing_queries};
+    use pwe_geom::interval::stab_bruteforce;
+
+    #[test]
+    fn f64_key_preserves_order() {
+        let values = [-1e9, -2.5, -0.0, 0.0, 1e-300, 3.7, 2e18];
+        for w in values.windows(2) {
+            assert!(f64_key(w[0]) <= f64_key(w[1]));
+        }
+        for &v in &values {
+            assert_eq!(f64_from_key(f64_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn presorted_and_classic_answer_identically() {
+        let intervals = random_intervals(800, 1000.0, 50.0, 1);
+        let queries = stabbing_queries(200, 1000.0, 2);
+        let classic = IntervalTree::build_classic(&intervals, 4);
+        let presorted = IntervalTree::build_presorted(&intervals, 4);
+        for &q in &queries {
+            let expected = stab_bruteforce(&intervals, q);
+            assert_eq!(classic.stab(q), expected);
+            assert_eq!(presorted.stab(q), expected);
+        }
+    }
+
+    #[test]
+    fn presorted_writes_fewer_than_classic() {
+        let intervals = random_intervals(20_000, 1e6, 100.0, 3);
+        let (_, classic) = measure(Omega::symmetric(), || IntervalTree::build_classic(&intervals, 2));
+        let (_, presorted) =
+            measure(Omega::symmetric(), || IntervalTree::build_presorted(&intervals, 2));
+        assert!(
+            presorted.writes < classic.writes,
+            "post-sorted construction should write less: {} vs {}",
+            presorted.writes,
+            classic.writes
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let t = IntervalTree::build_presorted(&[], 2);
+        assert!(t.is_empty());
+        assert_eq!(t.stab(1.0), Vec::<u64>::new());
+
+        let one = vec![Interval::new(1.0, 2.0, 7)];
+        let t = IntervalTree::build_presorted(&one, 2);
+        assert_eq!(t.stab(1.5), vec![7]);
+        assert_eq!(t.stab(2.0), vec![7]);
+        assert_eq!(t.stab(2.1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn dynamic_insertions_and_deletions_match_bruteforce() {
+        let initial = random_intervals(300, 1000.0, 30.0, 5);
+        let mut tree = IntervalTree::build_presorted(&initial, 4);
+        let mut reference = initial.clone();
+
+        let extra = random_intervals(300, 1000.0, 30.0, 6);
+        for (i, s) in extra.iter().enumerate() {
+            let s = Interval::new(s.left, s.right, 1000 + i as u64);
+            tree.insert(&s);
+            reference.push(s);
+        }
+        assert_eq!(tree.len(), 600);
+        for &q in &stabbing_queries(100, 1000.0, 7) {
+            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q), "after inserts at {q}");
+        }
+
+        // Delete half of them.
+        for s in reference.clone().iter().take(300) {
+            assert!(tree.delete(s), "delete {s}");
+        }
+        reference.drain(..300);
+        assert_eq!(tree.len(), 300);
+        for &q in &stabbing_queries(100, 1000.0, 8) {
+            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q), "after deletes at {q}");
+        }
+        // Deleting something absent reports false.
+        assert!(!tree.delete(&Interval::new(0.0, 1.0, 999_999)));
+    }
+
+    #[test]
+    fn larger_alpha_touches_fewer_critical_nodes() {
+        let initial = random_intervals(4000, 1e5, 10.0, 9);
+        let mut small_alpha = IntervalTree::build_presorted(&initial, 2);
+        let mut large_alpha = IntervalTree::build_presorted(&initial, 16);
+        assert!(large_alpha.critical_count() < small_alpha.critical_count());
+
+        let extra = random_intervals(500, 1e5, 10.0, 10);
+        let mut touched_small = 0u64;
+        let mut touched_large = 0u64;
+        for (i, s) in extra.iter().enumerate() {
+            let s = Interval::new(s.left, s.right, 10_000 + i as u64);
+            touched_small += small_alpha.insert(&s).critical_touched;
+            touched_large += large_alpha.insert(&s).critical_touched;
+        }
+        assert!(
+            touched_large < touched_small,
+            "α=16 should touch fewer critical nodes per update ({touched_large} vs {touched_small})"
+        );
+    }
+
+    #[test]
+    fn skewed_insertions_stay_queryable_via_reconstruction() {
+        // Insert nested intervals, a worst case for the unbalanced key set.
+        let mut tree = IntervalTree::build_presorted(&random_intervals(64, 100.0, 5.0, 11), 2);
+        let mut reference = tree.collect_all();
+        for i in 0..500u64 {
+            let left = 200.0 + i as f64 * 0.5;
+            let s = Interval::new(left, left + 0.25, 5000 + i);
+            tree.insert(&s);
+            reference.push(s);
+        }
+        assert!(tree.rebuilds > 0, "skewed insertions should trigger reconstructions");
+        for &q in &stabbing_queries(50, 500.0, 12) {
+            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_stab_matches_bruteforce(
+            n in 0usize..200,
+            seed in 0u64..50,
+            queries in proptest::collection::vec(0.0f64..1000.0, 1..20),
+            alpha in 2usize..10,
+        ) {
+            let intervals = random_intervals(n.max(0), 1000.0, 40.0, seed);
+            let tree = IntervalTree::build_presorted(&intervals, alpha);
+            for &q in &queries {
+                prop_assert_eq!(tree.stab(q), stab_bruteforce(&intervals, q));
+            }
+        }
+
+        #[test]
+        fn prop_dynamic_matches_bruteforce(
+            seed in 0u64..50,
+            ops in proptest::collection::vec((0.0f64..100.0, 0.1f64..10.0, any::<bool>()), 1..80),
+        ) {
+            let mut tree = IntervalTree::build_presorted(&[], 4);
+            let mut reference: Vec<Interval> = Vec::new();
+            for (i, &(left, len, del)) in ops.iter().enumerate() {
+                if del && !reference.is_empty() {
+                    let victim = reference.remove(i % reference.len());
+                    prop_assert!(tree.delete(&victim));
+                } else {
+                    let s = Interval::new(left, left + len, seed * 1000 + i as u64);
+                    tree.insert(&s);
+                    reference.push(s);
+                }
+            }
+            for q in [0.0, 25.0, 50.0, 75.0, 99.0, 105.0] {
+                prop_assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # pwe-augtree — write-efficient augmented trees
+//!
+//! Section 7 of the paper builds augmented search trees — interval trees,
+//! priority search trees and 2D range trees — that are write-efficient both
+//! at construction time and under dynamic updates:
+//!
+//! * **Post-sorted construction** (Section 7.2): after the input is sorted
+//!   (which itself needs only linear writes, Section 4), an interval tree or
+//!   a priority search tree can be built with `O(n)` further reads and
+//!   writes, instead of the `Θ(n log n)` writes of the textbook
+//!   constructions.  A 2D range tree occupies `Θ(n log n)` words, so its
+//!   construction writes cannot be reduced below that; with α-labeling the
+//!   inner trees are kept only on critical nodes, giving `O(n log_α n)`
+//!   construction writes.
+//! * **α-labeling + reconstruction-based rebalancing** (Section 7.3): only a
+//!   sub-set of *critical* nodes — those whose subtree weight falls in a
+//!   window `[2αⁱ, 4αⁱ−2]` — carry balance information (and, for the range
+//!   tree, inner trees).  An update touches `O(log_α n)` critical nodes
+//!   instead of `O(log n)` nodes, cutting the writes per update by a
+//!   `Θ(log α)` factor at the price of up to `α×` more reads; imbalance is
+//!   repaired by rebuilding the offending subtree with the post-sorted
+//!   construction (Table 1, Theorems 7.3 / 7.4).
+//!
+//! Modules: [`alpha`] (the labeling rule and the optimal-α formula),
+//! [`interval`] (interval tree, 1D stabbing queries), [`priority`] (priority
+//! search tree, 3-sided queries), [`range_tree`] (2D range tree, orthogonal
+//! range queries).
+
+pub mod alpha;
+pub mod interval;
+pub mod priority;
+pub mod range_tree;
+
+pub use alpha::{is_critical_weight, optimal_alpha};
+pub use interval::IntervalTree;
+pub use priority::PrioritySearchTree;
+pub use range_tree::RangeTree2D;

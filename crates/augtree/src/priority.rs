@@ -1,0 +1,545 @@
+//! Priority search trees and 3-sided range queries (Sections 7.1–7.2,
+//! Appendix A).
+//!
+//! This is the paper's second variant of the priority search tree: a *heap*
+//! on the priorities (`y`) in which every node is augmented with a splitter
+//! on the coordinate (`x`) dimension.  The write-efficient construction
+//! (Theorem 7.1) works on the x-sorted point list and uses the tournament
+//! tree of Appendix A to find, for every sub-range, the remaining point of
+//! maximum priority and the median of the surviving points — `O(n)` reads
+//! and writes overall after sorting.
+//!
+//! Dynamic updates follow the reconstruction-based scheme: insertions sift
+//! down by priority along the splitter path; deletions promote the
+//! higher-priority child into the hole; and the whole structure is rebuilt
+//! once the number of updates since the last construction reaches the size
+//! at construction (the simplification relative to the paper's per-subtree
+//! α-labeled rebuilding is recorded in EXPERIMENTS.md).
+
+use pwe_asym::counters::{record_read, record_reads, record_writes};
+use pwe_asym::depth;
+use pwe_geom::point::Point2;
+use pwe_primitives::tournament::TournamentTree;
+
+use crate::interval::f64_key;
+
+const EMPTY: usize = usize::MAX;
+
+/// A point with an identifier, as stored in the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsPoint {
+    /// The point; `x` is the coordinate, `y` the priority.
+    pub point: Point2,
+    /// Caller-provided identifier.
+    pub id: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PNode {
+    /// The point stored at this node (the maximum-priority point of its
+    /// range), if any.
+    item: Option<PsPoint>,
+    /// Coordinate splitter: left subtree holds x < splitter, right x ≥ splitter.
+    splitter: f64,
+    left: usize,
+    right: usize,
+    /// Number of points stored in this subtree.
+    size: usize,
+}
+
+/// A priority search tree supporting 3-sided queries
+/// (`x ∈ [x_lo, x_hi]`, `y ≥ y_bot`).
+#[derive(Debug, Clone)]
+pub struct PrioritySearchTree {
+    nodes: Vec<PNode>,
+    root: usize,
+    len: usize,
+    built_len: usize,
+    updates_since_build: usize,
+    /// Number of full reconstructions triggered by updates (diagnostic).
+    pub rebuilds: u64,
+}
+
+impl PrioritySearchTree {
+    /// The classic construction: recursively select the maximum-priority
+    /// point and physically partition the rest around the median coordinate —
+    /// `Θ(n log n)` reads and writes.
+    pub fn build_classic(points: &[PsPoint]) -> Self {
+        let mut tree = PrioritySearchTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            len: points.len(),
+            built_len: points.len(),
+            updates_since_build: 0,
+            rebuilds: 0,
+        };
+        tree.root = tree.build_classic_rec(points.to_vec());
+        depth::add(depth::log2_ceil(points.len().max(1)));
+        tree
+    }
+
+    fn build_classic_rec(&mut self, mut points: Vec<PsPoint>) -> usize {
+        if points.is_empty() {
+            return EMPTY;
+        }
+        record_reads(points.len() as u64);
+        record_writes(points.len() as u64); // the classic build copies per level
+        let best = points
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.point.y().partial_cmp(&b.point.y()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let item = points.swap_remove(best);
+        let n = points.len();
+        let splitter = if n == 0 {
+            item.point.x()
+        } else {
+            let mid = n / 2;
+            points.select_nth_unstable_by(mid, |a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+            points[mid].point.x()
+        };
+        let (left, right): (Vec<PsPoint>, Vec<PsPoint>) =
+            points.into_iter().partition(|p| p.point.x() < splitter);
+        let idx = self.nodes.len();
+        self.nodes.push(PNode {
+            item: Some(item),
+            splitter,
+            left: EMPTY,
+            right: EMPTY,
+            size: n + 1,
+        });
+        let l = self.build_classic_rec(left);
+        let r = self.build_classic_rec(right);
+        self.nodes[idx].left = l;
+        self.nodes[idx].right = r;
+        idx
+    }
+
+    /// The post-sorted construction (Theorem 7.1): sort by x (write-efficient
+    /// sort costs), then build with a tournament tree — `O(n)` further reads
+    /// and writes, no per-level copying.
+    pub fn build_presorted(points: &[PsPoint]) -> Self {
+        let mut tree = PrioritySearchTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            len: points.len(),
+            built_len: points.len(),
+            updates_since_build: 0,
+            rebuilds: 0,
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        // Sort by x (costs of the write-efficient sort: n log n reads, n writes).
+        let mut sorted: Vec<PsPoint> = points.to_vec();
+        sorted.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+        record_reads(points.len() as u64 * depth::log2_ceil(points.len().max(2)));
+        record_writes(points.len() as u64);
+
+        // Tournament tree over the priorities, supporting range-max, k-th
+        // valid and deletion (Appendix A).
+        let priorities: Vec<u64> = sorted.iter().map(|p| f64_key(p.point.y())).collect();
+        let mut tournament = TournamentTree::new(&priorities);
+        tree.root = tree.build_presorted_rec(&sorted, &mut tournament, 0, sorted.len());
+        depth::add(depth::log2_ceil(points.len()));
+        tree
+    }
+
+    fn build_presorted_rec(
+        &mut self,
+        sorted: &[PsPoint],
+        tournament: &mut TournamentTree<u64>,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        let valid = tournament.count_valid(lo, hi);
+        if valid == 0 {
+            return EMPTY;
+        }
+        // The subtree root is the surviving point of maximum priority.
+        let best = tournament
+            .range_max(lo, hi)
+            .expect("non-empty range has a maximum");
+        let item = sorted[best];
+        // Scoped deletion (Appendix A): later construction queries are either
+        // inside [lo, hi) or disjoint from it, so ancestors spanning beyond
+        // the range need not be rewritten; the total writes stay O(n).
+        tournament.delete_scoped(best, lo, hi);
+        record_writes(1);
+
+        let remaining = valid - 1;
+        if remaining == 0 {
+            let idx = self.nodes.len();
+            self.nodes.push(PNode {
+                item: Some(item),
+                splitter: item.point.x(),
+                left: EMPTY,
+                right: EMPTY,
+                size: 1,
+            });
+            record_writes(1);
+            return idx;
+        }
+        // Split the survivors at their median coordinate.
+        let mid_rank = remaining / 2;
+        let median_idx = tournament
+            .kth_valid(lo, hi, mid_rank)
+            .expect("median of a non-empty range");
+        let splitter = sorted[median_idx].point.x();
+
+        let idx = self.nodes.len();
+        self.nodes.push(PNode {
+            item: Some(item),
+            splitter,
+            left: EMPTY,
+            right: EMPTY,
+            size: valid,
+        });
+        record_writes(1);
+        let l = self.build_presorted_rec(sorted, tournament, lo, median_idx);
+        let r = self.build_presorted_rec(sorted, tournament, median_idx, hi);
+        self.nodes[idx].left = l;
+        self.nodes[idx].right = r;
+        idx
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (diagnostic).
+    pub fn height(&self) -> usize {
+        fn rec(nodes: &[PNode], v: usize) -> usize {
+            if v == EMPTY {
+                0
+            } else {
+                1 + rec(nodes, nodes[v].left).max(rec(nodes, nodes[v].right))
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+
+    /// 3-sided query: ids of all points with `x ∈ [x_lo, x_hi]` and
+    /// `y ≥ y_bot`, in ascending id order.
+    pub fn query_3sided(&self, x_lo: f64, x_hi: f64, y_bot: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query_rec(self.root, x_lo, x_hi, y_bot, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn query_rec(
+        &self,
+        v: usize,
+        x_lo: f64,
+        x_hi: f64,
+        y_bot: f64,
+        range_lo: f64,
+        range_hi: f64,
+        out: &mut Vec<u64>,
+    ) {
+        if v == EMPTY || range_lo > x_hi || range_hi < x_lo {
+            return;
+        }
+        record_read();
+        let node = &self.nodes[v];
+        let Some(item) = node.item else { return };
+        // Heap order: if even this subtree's best priority is below the
+        // threshold, nothing below can qualify.
+        if item.point.y() < y_bot {
+            return;
+        }
+        if item.point.x() >= x_lo && item.point.x() <= x_hi {
+            out.push(item.id);
+        }
+        self.query_rec(node.left, x_lo, x_hi, y_bot, range_lo, node.splitter, out);
+        self.query_rec(node.right, x_lo, x_hi, y_bot, node.splitter, range_hi, out);
+    }
+
+    /// Insert a point: sift down by priority along the splitter path
+    /// (`O(log n)` reads, `O(1)` amortized structural writes plus the swaps).
+    pub fn insert(&mut self, p: PsPoint) {
+        self.len += 1;
+        self.updates_since_build += 1;
+        if self.root == EMPTY {
+            self.root = self.nodes.len();
+            self.nodes.push(PNode {
+                item: Some(p),
+                splitter: p.point.x(),
+                left: EMPTY,
+                right: EMPTY,
+                size: 1,
+            });
+            record_writes(1);
+            return;
+        }
+        let mut carried = p;
+        let mut v = self.root;
+        loop {
+            record_read();
+            self.nodes[v].size += 1;
+            let node_item = self.nodes[v].item;
+            match node_item {
+                None => {
+                    self.nodes[v].item = Some(carried);
+                    record_writes(1);
+                    break;
+                }
+                Some(existing) => {
+                    // Keep the higher-priority point here, push the other down.
+                    if carried.point.y() > existing.point.y() {
+                        self.nodes[v].item = Some(carried);
+                        record_writes(1);
+                        carried = existing;
+                    }
+                    let splitter = self.nodes[v].splitter;
+                    let child = if carried.point.x() < splitter {
+                        self.nodes[v].left
+                    } else {
+                        self.nodes[v].right
+                    };
+                    if child == EMPTY {
+                        let idx = self.nodes.len();
+                        self.nodes.push(PNode {
+                            item: Some(carried),
+                            splitter: carried.point.x(),
+                            left: EMPTY,
+                            right: EMPTY,
+                            size: 1,
+                        });
+                        record_writes(2);
+                        if carried.point.x() < splitter {
+                            self.nodes[v].left = idx;
+                        } else {
+                            self.nodes[v].right = idx;
+                        }
+                        break;
+                    }
+                    v = child;
+                }
+            }
+        }
+        self.maybe_rebuild();
+    }
+
+    /// Delete a point by id and coordinates.  Returns whether it was found.
+    pub fn delete(&mut self, p: &PsPoint) -> bool {
+        let Some(v) = self.find_node(self.root, p) else {
+            return false;
+        };
+        self.len -= 1;
+        self.updates_since_build += 1;
+        // Promote the higher-priority child into the hole, repeatedly.
+        let mut hole = v;
+        loop {
+            record_read();
+            let (l, r) = (self.nodes[hole].left, self.nodes[hole].right);
+            let left_item = (l != EMPTY).then(|| self.nodes[l].item).flatten();
+            let right_item = (r != EMPTY).then(|| self.nodes[r].item).flatten();
+            let promote_from = match (left_item, right_item) {
+                (None, None) => {
+                    self.nodes[hole].item = None;
+                    record_writes(1);
+                    break;
+                }
+                (Some(_), None) => l,
+                (None, Some(_)) => r,
+                (Some(a), Some(b)) => {
+                    if a.point.y() >= b.point.y() {
+                        l
+                    } else {
+                        r
+                    }
+                }
+            };
+            self.nodes[hole].item = self.nodes[promote_from].item;
+            record_writes(1);
+            hole = promote_from;
+        }
+        self.maybe_rebuild();
+        true
+    }
+
+    fn find_node(&self, v: usize, p: &PsPoint) -> Option<usize> {
+        if v == EMPTY {
+            return None;
+        }
+        record_read();
+        let node = &self.nodes[v];
+        let item = node.item?;
+        // Heap order: the target cannot be below a node with lower priority.
+        if item.point.y() < p.point.y() {
+            return None;
+        }
+        if item.id == p.id && item.point == p.point {
+            return Some(v);
+        }
+        if p.point.x() < node.splitter {
+            self.find_node(node.left, p)
+                .or_else(|| self.find_node(node.right, p))
+        } else {
+            self.find_node(node.right, p)
+                .or_else(|| self.find_node(node.left, p))
+        }
+    }
+
+    /// Every live point currently stored (used by rebuilds and tests).
+    pub fn collect_all(&self) -> Vec<PsPoint> {
+        fn rec(nodes: &[PNode], v: usize, out: &mut Vec<PsPoint>) {
+            if v == EMPTY {
+                return;
+            }
+            if let Some(item) = nodes[v].item {
+                out.push(item);
+            }
+            rec(nodes, nodes[v].left, out);
+            rec(nodes, nodes[v].right, out);
+        }
+        let mut out = Vec::new();
+        rec(&self.nodes, self.root, &mut out);
+        out
+    }
+
+    fn maybe_rebuild(&mut self) {
+        if self.updates_since_build > self.built_len.max(16) {
+            let points = self.collect_all();
+            record_reads(points.len() as u64);
+            *self = PrioritySearchTree::build_presorted(&points);
+            self.rebuilds += 1;
+        }
+    }
+}
+
+/// Brute-force 3-sided query used as the tests' oracle.
+pub fn three_sided_bruteforce(points: &[PsPoint], x_lo: f64, x_hi: f64, y_bot: f64) -> Vec<u64> {
+    let mut ids: Vec<u64> = points
+        .iter()
+        .filter(|p| p.point.x() >= x_lo && p.point.x() <= x_hi && p.point.y() >= y_bot)
+        .map(|p| p.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use pwe_asym::cost::{measure, Omega};
+    use pwe_geom::generators::{random_three_sided_queries, uniform_points_2d};
+
+    fn make_points(n: usize, seed: u64) -> Vec<PsPoint> {
+        uniform_points_2d(n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, point)| PsPoint { point, id: i as u64 })
+            .collect()
+    }
+
+    #[test]
+    fn both_constructions_answer_identically() {
+        let points = make_points(600, 1);
+        let classic = PrioritySearchTree::build_classic(&points);
+        let presorted = PrioritySearchTree::build_presorted(&points);
+        for &(lo, hi, y) in &random_three_sided_queries(100, 0.4, 2) {
+            let expected = three_sided_bruteforce(&points, lo, hi, y);
+            assert_eq!(classic.query_3sided(lo, hi, y), expected);
+            assert_eq!(presorted.query_3sided(lo, hi, y), expected);
+        }
+    }
+
+    #[test]
+    fn presorted_writes_fewer_than_classic() {
+        let points = make_points(20_000, 3);
+        let (_, classic) = measure(Omega::symmetric(), || PrioritySearchTree::build_classic(&points));
+        let (_, presorted) =
+            measure(Omega::symmetric(), || PrioritySearchTree::build_presorted(&points));
+        assert!(
+            presorted.writes < classic.writes,
+            "post-sorted construction should write less: {} vs {}",
+            presorted.writes,
+            classic.writes
+        );
+    }
+
+    #[test]
+    fn presorted_tree_is_balanced() {
+        let points = make_points(4096, 5);
+        let tree = PrioritySearchTree::build_presorted(&points);
+        // Median splitters keep the height within ~log2(n) + O(1).
+        assert!(tree.height() <= 16, "height {} too large", tree.height());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = PrioritySearchTree::build_presorted(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.query_3sided(0.0, 1.0, 0.0).is_empty());
+
+        let single = vec![PsPoint { point: Point2::xy(0.5, 0.5), id: 9 }];
+        let tree = PrioritySearchTree::build_presorted(&single);
+        assert_eq!(tree.query_3sided(0.0, 1.0, 0.0), vec![9]);
+        assert_eq!(tree.query_3sided(0.0, 1.0, 0.6), Vec::<u64>::new());
+        assert_eq!(tree.query_3sided(0.6, 1.0, 0.0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn dynamic_updates_match_bruteforce() {
+        let initial = make_points(300, 7);
+        let mut tree = PrioritySearchTree::build_presorted(&initial);
+        let mut reference = initial.clone();
+        // Insert 300 more.
+        for (i, p) in make_points(300, 8).into_iter().enumerate() {
+            let p = PsPoint { point: p.point, id: 1000 + i as u64 };
+            tree.insert(p);
+            reference.push(p);
+        }
+        for &(lo, hi, y) in &random_three_sided_queries(50, 0.3, 9) {
+            assert_eq!(
+                tree.query_3sided(lo, hi, y),
+                three_sided_bruteforce(&reference, lo, hi, y)
+            );
+        }
+        // Delete the original 300.
+        for p in &initial {
+            assert!(tree.delete(p), "delete id {}", p.id);
+        }
+        reference.retain(|p| p.id >= 1000);
+        assert_eq!(tree.len(), 300);
+        for &(lo, hi, y) in &random_three_sided_queries(50, 0.3, 10) {
+            assert_eq!(
+                tree.query_3sided(lo, hi, y),
+                three_sided_bruteforce(&reference, lo, hi, y)
+            );
+        }
+        assert!(!tree.delete(&initial[0]), "double delete must fail");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_query_matches_bruteforce(
+            n in 0usize..300,
+            seed in 0u64..50,
+            lo in 0.0f64..0.8,
+            width in 0.05f64..0.5,
+            y in 0.0f64..1.0,
+        ) {
+            let points = make_points(n, seed);
+            let tree = PrioritySearchTree::build_presorted(&points);
+            prop_assert_eq!(
+                tree.query_3sided(lo, lo + width, y),
+                three_sided_bruteforce(&points, lo, lo + width, y)
+            );
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! 2D range trees with α-labeling (Sections 7.1, 7.3.4).
+//!
+//! The outer tree is a balanced search tree over the x-coordinates with the
+//! points at its leaves.  A classic range tree augments *every* internal
+//! node with an inner structure holding its subtree's points sorted by y —
+//! `Θ(n log n)` space and construction writes.  With α-labeling only the
+//! **critical** nodes carry inner structures, so the total augmentation is
+//! `O(n log_α n)` and an update touches only `O(log_α n)` inner structures,
+//! at the price of visiting up to `O(α log_α n)` outer nodes per query
+//! (Table 1, last two rows).
+//!
+//! Deletions are handled by tombstoning (the paper's "mark and rebuild when a
+//! constant fraction is dead") and insertions by leaf splitting plus
+//! reconstruction of any critical subtree whose weight has doubled.
+
+use std::collections::{BTreeMap, HashSet};
+
+use pwe_asym::counters::{record_read, record_reads, record_writes};
+use pwe_asym::depth;
+use pwe_geom::bbox::Rect;
+use pwe_geom::point::Point2;
+
+use crate::alpha::is_critical_weight;
+use crate::interval::f64_key;
+
+const EMPTY: usize = usize::MAX;
+
+/// A stored point with its identifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtPoint {
+    /// The 2D point.
+    pub point: Point2,
+    /// Caller-provided identifier.
+    pub id: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RNode {
+    /// Split value: left subtree holds x < split, right subtree x ≥ split.
+    split: f64,
+    left: usize,
+    right: usize,
+    /// The point stored here (leaves only).
+    leaf: Option<RtPoint>,
+    /// Inner structure (points of the subtree sorted by y) — present only on
+    /// critical nodes.
+    inner: Option<BTreeMap<(u64, u64), RtPoint>>,
+    /// Subtree weight (points + 1), maintained only on critical nodes.
+    weight: usize,
+    initial_weight: usize,
+    critical: bool,
+}
+
+/// Per-update statistics (mirrors [`crate::interval::UpdateStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtUpdateStats {
+    /// Outer nodes visited.
+    pub path_nodes: u64,
+    /// Critical nodes whose inner structure / weight was written.
+    pub critical_touched: u64,
+    /// Whether a subtree reconstruction was triggered.
+    pub rebuilt: bool,
+}
+
+/// A dynamic 2D range tree with α-labeled augmentation.
+#[derive(Debug, Clone)]
+pub struct RangeTree2D {
+    nodes: Vec<RNode>,
+    root: usize,
+    alpha: usize,
+    live: usize,
+    dead: usize,
+    deleted: HashSet<u64>,
+    /// Number of reconstructions triggered by updates (diagnostic).
+    pub rebuilds: u64,
+}
+
+impl RangeTree2D {
+    /// Build a range tree over `points` with parameter `α ≥ 2`.
+    ///
+    /// Costs `O(n log n)` reads (the sort plus the per-critical-node inner
+    /// structures) and `O(n log_α n)` writes — the classic construction is
+    /// the special case α = 2 in which every node is critical.
+    pub fn build(points: &[RtPoint], alpha: usize) -> Self {
+        assert!(alpha >= 2, "α must be at least 2");
+        let mut tree = RangeTree2D {
+            nodes: Vec::new(),
+            root: EMPTY,
+            alpha,
+            live: points.len(),
+            dead: 0,
+            deleted: HashSet::new(),
+            rebuilds: 0,
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        let mut sorted = points.to_vec();
+        sorted.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+        record_reads(points.len() as u64 * depth::log2_ceil(points.len().max(2)));
+        record_writes(points.len() as u64);
+        tree.root = tree.build_rec(&sorted);
+        depth::add(depth::log2_ceil(points.len()));
+        tree
+    }
+
+    fn build_rec(&mut self, sorted: &[RtPoint]) -> usize {
+        let n = sorted.len();
+        if n == 0 {
+            return EMPTY;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(RNode::default());
+        record_writes(1);
+        if n == 1 {
+            let node = &mut self.nodes[idx];
+            node.leaf = Some(sorted[0]);
+            node.split = sorted[0].point.x();
+            node.left = EMPTY;
+            node.right = EMPTY;
+            node.weight = 2;
+            node.initial_weight = 2;
+            node.critical = true; // leaves are always critical
+            let mut inner = BTreeMap::new();
+            inner.insert((f64_key(sorted[0].point.y()), sorted[0].id), sorted[0]);
+            node.inner = Some(inner);
+            record_writes(1);
+            return idx;
+        }
+        let mid = n / 2;
+        let split = sorted[mid].point.x();
+        let l = self.build_rec(&sorted[..mid]);
+        let r = self.build_rec(&sorted[mid..]);
+        let weight = n + 1;
+        let critical = is_critical_weight(weight, self.alpha) || idx == 0;
+        let node = &mut self.nodes[idx];
+        node.split = split;
+        node.left = l;
+        node.right = r;
+        node.weight = weight;
+        node.initial_weight = weight;
+        node.critical = critical;
+        if critical {
+            // The inner structure holds every point of the subtree, sorted by y.
+            let mut inner = BTreeMap::new();
+            for p in sorted {
+                inner.insert((f64_key(p.point.y()), p.id), *p);
+            }
+            record_writes(n as u64);
+            record_reads(n as u64);
+            self.nodes[idx].inner = Some(inner);
+        }
+        idx
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The α parameter.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Number of critical nodes carrying inner structures (diagnostic).
+    pub fn critical_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.critical).count()
+    }
+
+    /// Total size of all inner structures — the augmentation footprint that
+    /// α-labeling reduces from `Θ(n log n)` to `O(n log_α n)` (diagnostic).
+    pub fn augmentation_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.inner.as_ref().map(|m| m.len()))
+            .sum()
+    }
+
+    /// Orthogonal range query: ids of live points inside `rect`, ascending.
+    pub fn query(&self, rect: &Rect) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.root != EMPTY {
+            self.query_rec(self.root, rect, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+        }
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    fn query_rec(&self, v: usize, rect: &Rect, lo: f64, hi: f64, out: &mut Vec<u64>) {
+        if v == EMPTY || lo > rect.x_max || hi < rect.x_min {
+            return;
+        }
+        record_read();
+        let node = &self.nodes[v];
+        if let Some(p) = node.leaf {
+            if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
+                out.push(p.id);
+            }
+            return;
+        }
+        // If the node's x-range is entirely inside the query, answer from the
+        // inner structure (or, on a secondary node, from the inner structures
+        // of its maximal critical descendants).
+        if rect.x_min <= lo && hi <= rect.x_max {
+            self.report_y_range(v, rect, out);
+            return;
+        }
+        self.query_rec(node.left, rect, lo, node.split, out);
+        self.query_rec(node.right, rect, node.split, hi, out);
+    }
+
+    /// Report the points of `v`'s subtree whose y lies in the query's y-range
+    /// (x is already known to be inside).  Critical nodes answer from their
+    /// inner structure; secondary nodes delegate to their maximal critical
+    /// descendants (at most `O(α)` levels down, Corollary 7.1).
+    fn report_y_range(&self, v: usize, rect: &Rect, out: &mut Vec<u64>) {
+        if v == EMPTY {
+            return;
+        }
+        record_read();
+        let node = &self.nodes[v];
+        if let Some(inner) = &node.inner {
+            for (_, p) in inner.range((f64_key(rect.y_min), 0)..=(f64_key(rect.y_max), u64::MAX)) {
+                record_read();
+                if !self.deleted.contains(&p.id) {
+                    debug_assert!(rect.contains(&p.point));
+                    out.push(p.id);
+                }
+            }
+            return;
+        }
+        if let Some(p) = node.leaf {
+            if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
+                out.push(p.id);
+            }
+            return;
+        }
+        self.report_y_range(node.left, rect, out);
+        self.report_y_range(node.right, rect, out);
+    }
+
+    /// Insert a point.  Touches the inner structures of the `O(log_α n)`
+    /// critical ancestors only; rebuilds the topmost critical subtree whose
+    /// weight has doubled since its construction.
+    pub fn insert(&mut self, p: RtPoint) -> RtUpdateStats {
+        let mut stats = RtUpdateStats::default();
+        self.live += 1;
+        if self.root == EMPTY {
+            *self = RangeTree2D::build(&[p], self.alpha);
+            self.live = 1;
+            return stats;
+        }
+        // Descend to a leaf.
+        let mut path = Vec::new();
+        let mut v = self.root;
+        loop {
+            path.push(v);
+            stats.path_nodes += 1;
+            record_read();
+            if self.nodes[v].leaf.is_some() {
+                break;
+            }
+            let node = &self.nodes[v];
+            v = if p.point.x() < node.split {
+                node.left
+            } else {
+                node.right
+            };
+        }
+        // Split the leaf into an internal node with two leaves.
+        let old = self.nodes[v].leaf.expect("descent ends at a leaf");
+        let (first, second) = if p.point.x() < old.point.x() {
+            (p, old)
+        } else {
+            (old, p)
+        };
+        let left_idx = self.nodes.len();
+        self.nodes.push(Self::make_leaf(first));
+        let right_idx = self.nodes.len();
+        self.nodes.push(Self::make_leaf(second));
+        record_writes(2);
+        {
+            let node = &mut self.nodes[v];
+            node.leaf = None;
+            node.split = second.point.x();
+            node.left = left_idx;
+            node.right = right_idx;
+            node.weight = 3;
+            node.initial_weight = 3;
+            node.critical = is_critical_weight(3, self.alpha);
+            record_writes(1);
+        }
+        // The split node keeps (or drops) its inner structure according to its
+        // new criticality; the new point is added below.
+        if !self.nodes[v].critical {
+            self.nodes[v].inner = None;
+        } else if self.nodes[v].inner.is_none() {
+            let mut inner = BTreeMap::new();
+            inner.insert((f64_key(old.point.y()), old.id), old);
+            self.nodes[v].inner = Some(inner);
+        }
+
+        // Add the point to the inner structure of every critical ancestor.
+        for &u in &path {
+            if self.nodes[u].critical {
+                self.nodes[u].weight += 1;
+                if let Some(inner) = self.nodes[u].inner.as_mut() {
+                    inner.insert((f64_key(p.point.y()), p.id), p);
+                }
+                record_writes(2);
+                stats.critical_touched += 1;
+            }
+        }
+
+        // Rebuild the topmost critical subtree that has doubled in weight.
+        if let Some(&u) = path
+            .iter()
+            .find(|&&u| self.nodes[u].critical && self.nodes[u].weight >= 2 * self.nodes[u].initial_weight.max(3))
+        {
+            self.rebuild_subtree(u);
+            stats.rebuilt = true;
+        }
+        stats
+    }
+
+    fn make_leaf(p: RtPoint) -> RNode {
+        let mut inner = BTreeMap::new();
+        inner.insert((f64_key(p.point.y()), p.id), p);
+        RNode {
+            split: p.point.x(),
+            left: EMPTY,
+            right: EMPTY,
+            leaf: Some(p),
+            inner: Some(inner),
+            weight: 2,
+            initial_weight: 2,
+            critical: true,
+            ..Default::default()
+        }
+    }
+
+    /// Delete a point by id (tombstoning).  The whole tree is rebuilt once
+    /// more than half of the stored points are dead.
+    pub fn delete(&mut self, id: u64) -> bool {
+        if self.deleted.contains(&id) {
+            return false;
+        }
+        // Existence check against the root's inner structure (the root is
+        // always critical, so it indexes every live point).
+        let exists = self.collect_live().iter().any(|p| p.id == id);
+        if !exists {
+            return false;
+        }
+        self.deleted.insert(id);
+        record_writes(1);
+        self.live -= 1;
+        self.dead += 1;
+        if self.dead > self.live {
+            let live = self.collect_live();
+            let alpha = self.alpha;
+            let rebuilds = self.rebuilds + 1;
+            *self = RangeTree2D::build(&live, alpha);
+            self.rebuilds = rebuilds;
+        }
+        true
+    }
+
+    /// All live points.
+    pub fn collect_live(&self) -> Vec<RtPoint> {
+        fn rec(nodes: &[RNode], v: usize, deleted: &HashSet<u64>, out: &mut Vec<RtPoint>) {
+            if v == EMPTY {
+                return;
+            }
+            if let Some(p) = nodes[v].leaf {
+                if !deleted.contains(&p.id) {
+                    out.push(p);
+                }
+                return;
+            }
+            rec(nodes, nodes[v].left, deleted, out);
+            rec(nodes, nodes[v].right, deleted, out);
+        }
+        let mut out = Vec::new();
+        rec(&self.nodes, self.root, &self.deleted, &mut out);
+        record_reads(out.len() as u64);
+        out
+    }
+
+    fn rebuild_subtree(&mut self, v: usize) {
+        self.rebuilds += 1;
+        // Collect the live points below v.
+        fn rec(nodes: &[RNode], v: usize, deleted: &HashSet<u64>, out: &mut Vec<RtPoint>) {
+            if v == EMPTY {
+                return;
+            }
+            if let Some(p) = nodes[v].leaf {
+                if !deleted.contains(&p.id) {
+                    out.push(p);
+                }
+                return;
+            }
+            rec(nodes, nodes[v].left, deleted, out);
+            rec(nodes, nodes[v].right, deleted, out);
+        }
+        let mut points = Vec::new();
+        rec(&self.nodes, v, &self.deleted, &mut points);
+        record_reads(points.len() as u64);
+        if points.is_empty() {
+            return;
+        }
+        let rebuilt = RangeTree2D::build(&points, self.alpha);
+        let offset = self.nodes.len();
+        let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + offset };
+        for mut node in rebuilt.nodes {
+            node.left = remap(node.left);
+            node.right = remap(node.right);
+            self.nodes.push(node);
+        }
+        let new_root = remap(rebuilt.root);
+        let root_copy = self.nodes[new_root].clone();
+        self.nodes[v] = root_copy;
+        record_writes(1);
+        if v == self.root {
+            self.nodes[self.root].critical = true;
+        }
+    }
+}
+
+/// Brute-force range query oracle for the tests.
+pub fn range_bruteforce(points: &[RtPoint], rect: &Rect) -> Vec<u64> {
+    let mut ids: Vec<u64> = points
+        .iter()
+        .filter(|p| rect.contains(&p.point))
+        .map(|p| p.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use pwe_geom::generators::{random_query_rects, uniform_points_2d};
+
+    fn make_points(n: usize, seed: u64) -> Vec<RtPoint> {
+        uniform_points_2d(n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, point)| RtPoint { point, id: i as u64 })
+            .collect()
+    }
+
+    #[test]
+    fn queries_match_bruteforce() {
+        let points = make_points(1500, 1);
+        for alpha in [2usize, 4, 16] {
+            let tree = RangeTree2D::build(&points, alpha);
+            for rect in &random_query_rects(60, 0.3, 2) {
+                assert_eq!(tree.query(rect), range_bruteforce(&points, rect), "α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_labeling_reduces_augmentation() {
+        let points = make_points(8000, 3);
+        let dense = RangeTree2D::build(&points, 2);
+        let sparse = RangeTree2D::build(&points, 16);
+        assert!(sparse.critical_count() < dense.critical_count());
+        assert!(
+            sparse.augmentation_size() < dense.augmentation_size(),
+            "α=16 augmentation {} should be below α=2 augmentation {}",
+            sparse.augmentation_size(),
+            dense.augmentation_size()
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = RangeTree2D::build(&[], 4);
+        assert!(empty.is_empty());
+        assert!(empty.query(&Rect::new(0.0, 1.0, 0.0, 1.0)).is_empty());
+
+        let single = vec![RtPoint { point: Point2::xy(0.5, 0.5), id: 3 }];
+        let tree = RangeTree2D::build(&single, 4);
+        assert_eq!(tree.query(&Rect::new(0.0, 1.0, 0.0, 1.0)), vec![3]);
+        assert!(tree.query(&Rect::new(0.6, 1.0, 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn dynamic_insert_and_delete_match_bruteforce() {
+        let initial = make_points(400, 5);
+        let mut tree = RangeTree2D::build(&initial, 4);
+        let mut reference = initial.clone();
+        for (i, p) in make_points(400, 6).into_iter().enumerate() {
+            let p = RtPoint { point: p.point, id: 10_000 + i as u64 };
+            tree.insert(p);
+            reference.push(p);
+        }
+        for rect in &random_query_rects(40, 0.25, 7) {
+            assert_eq!(tree.query(rect), range_bruteforce(&reference, rect));
+        }
+        // Delete the original points.
+        for p in &initial {
+            assert!(tree.delete(p.id));
+        }
+        reference.retain(|p| p.id >= 10_000);
+        assert_eq!(tree.len(), 400);
+        for rect in &random_query_rects(40, 0.25, 8) {
+            assert_eq!(tree.query(rect), range_bruteforce(&reference, rect));
+        }
+        assert!(!tree.delete(initial[0].id), "double delete must fail");
+    }
+
+    #[test]
+    fn skewed_insertions_trigger_rebuilds_and_stay_correct() {
+        let mut tree = RangeTree2D::build(&make_points(64, 9), 2);
+        let mut reference = tree.collect_live();
+        for i in 0..400u64 {
+            let p = RtPoint {
+                point: Point2::xy(0.9 + (i as f64) * 1e-4, 0.5),
+                id: 5000 + i,
+            };
+            tree.insert(p);
+            reference.push(p);
+        }
+        assert!(tree.rebuilds > 0);
+        for rect in &random_query_rects(30, 0.3, 10) {
+            assert_eq!(tree.query(rect), range_bruteforce(&reference, rect));
+        }
+    }
+
+    #[test]
+    fn larger_alpha_touches_fewer_critical_nodes_per_insert() {
+        let points = make_points(4000, 11);
+        let mut dense = RangeTree2D::build(&points, 2);
+        let mut sparse = RangeTree2D::build(&points, 16);
+        let extra = make_points(400, 12);
+        let mut touched_dense = 0u64;
+        let mut touched_sparse = 0u64;
+        for (i, p) in extra.into_iter().enumerate() {
+            let p = RtPoint { point: p.point, id: 100_000 + i as u64 };
+            touched_dense += dense.insert(p).critical_touched;
+            touched_sparse += sparse.insert(p).critical_touched;
+        }
+        assert!(
+            touched_sparse < touched_dense,
+            "α=16 should touch fewer critical nodes ({touched_sparse} vs {touched_dense})"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_query_matches_bruteforce(
+            n in 0usize..300,
+            seed in 0u64..40,
+            alpha in 2usize..12,
+            x in 0.0f64..0.7,
+            y in 0.0f64..0.7,
+            w in 0.05f64..0.3,
+        ) {
+            let points = make_points(n, seed);
+            let tree = RangeTree2D::build(&points, alpha);
+            let rect = Rect::new(x, x + w, y, y + w);
+            prop_assert_eq!(tree.query(&rect), range_bruteforce(&points, &rect));
+        }
+    }
+}

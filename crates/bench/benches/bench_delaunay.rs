@@ -1,0 +1,24 @@
+//! Criterion bench for experiment E-dt (Theorem 5.1): baseline vs
+//! write-efficient Delaunay triangulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwe_delaunay::{triangulate_baseline, triangulate_write_efficient};
+use pwe_geom::generators::uniform_grid_points;
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let points = uniform_grid_points(n, 1 << 18, 3);
+        group.bench_with_input(BenchmarkId::new("baseline", n), &points, |b, pts| {
+            b.iter(|| triangulate_baseline(pts, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("write_efficient", n), &points, |b, pts| {
+            b.iter(|| triangulate_write_efficient(pts, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delaunay);
+criterion_main!(benches);

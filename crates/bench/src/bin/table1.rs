@@ -1,0 +1,42 @@
+//! Reproduce the shape of **Table 1** of the paper: construction, query and
+//! update costs of interval trees, priority search trees and 2D range trees,
+//! for the classic data structures and the write-efficient ones, across a
+//! sweep of α and ω.
+//!
+//! Usage: `cargo run --release -p pwe-bench --bin table1 [-- --n 20000 --tree all]`
+
+use pwe_asym::cost::Omega;
+use pwe_bench::{interval_experiment, print_table, priority_experiment, range_tree_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_value(&args, "--n").unwrap_or(20_000);
+    let tree = arg_str(&args, "--tree").unwrap_or_else(|| "all".to_string());
+    let omega = Omega::new(arg_value(&args, "--omega").unwrap_or(10) as u64);
+    let alphas = [2usize, 4, 8, 16];
+
+    println!("Table 1 reproduction — n = {n}, {omega}, α sweep = {alphas:?}");
+    if tree == "all" || tree == "interval" {
+        print_table("Interval tree (1D stabbing queries)", &interval_experiment(n, &alphas, omega));
+    }
+    if tree == "all" || tree == "priority" {
+        print_table("Priority search tree (3-sided queries)", &priority_experiment(n, omega));
+    }
+    if tree == "all" || tree == "range" {
+        print_table("2D range tree (orthogonal range queries)", &range_tree_experiment(n, &alphas, omega));
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -1,0 +1,52 @@
+//! Reproduce the main theorems' cost claims: Theorem 4.1 (sorting),
+//! Theorem 5.1 (Delaunay triangulation) and Theorem 6.1 (k-d trees), each as
+//! "baseline vs write-efficient" with measured reads, writes and ω-weighted
+//! work.
+//!
+//! Usage: `cargo run --release -p pwe-bench --bin theorems [-- --exp all --n 50000]`
+
+use pwe_asym::cost::Omega;
+use pwe_bench::{delaunay_experiment, kdtree_experiment, print_table, sort_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = arg_str(&args, "--exp").unwrap_or_else(|| "all".to_string());
+    let omegas: Vec<Omega> = match arg_value(&args, "--omega") {
+        Some(w) => vec![Omega::new(w as u64)],
+        None => Omega::paper_sweep(),
+    };
+
+    for omega in &omegas {
+        println!("\n################ {omega} ################");
+        if exp == "all" || exp == "sort" {
+            let n = arg_value(&args, "--n").unwrap_or(100_000);
+            print_table("Theorem 4.1 — comparison sort", &sort_experiment(n, *omega));
+        }
+        if exp == "all" || exp == "delaunay" {
+            let n = arg_value(&args, "--n").unwrap_or(100_000).min(20_000);
+            print_table("Theorem 5.1 — planar Delaunay triangulation", &delaunay_experiment(n, *omega));
+        }
+        if exp == "all" || exp == "kdtree" {
+            let n = arg_value(&args, "--n").unwrap_or(100_000);
+            let (rows, notes) = kdtree_experiment(n, *omega);
+            print_table("Theorem 6.1 — k-d tree construction (p ablation)", &rows);
+            for note in notes {
+                println!("    {note}");
+            }
+        }
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -1,0 +1,287 @@
+//! Experiment harness shared by the `table1` / `theorems` binaries and the
+//! criterion benches.
+//!
+//! Every function runs one of the paper's experiments (see DESIGN.md,
+//! "Experiment index"), measures reads/writes/depth with [`pwe_asym`], and
+//! returns printable rows.  The absolute numbers are implementation
+//! constants; what the experiments are expected to reproduce is the *shape*
+//! of the paper's claims — which variant writes less, by roughly what
+//! factor, and how the trade-off moves with α and ω.
+
+use pwe_asym::cost::{measure, CostReport, Omega};
+use pwe_augtree::interval::IntervalTree;
+use pwe_augtree::priority::{PrioritySearchTree, PsPoint};
+use pwe_augtree::range_tree::{RangeTree2D, RtPoint};
+use pwe_delaunay::{triangulate_baseline, triangulate_write_efficient};
+use pwe_geom::generators::{
+    random_intervals, random_query_rects, random_three_sided_queries, stabbing_queries,
+    uniform_grid_points, uniform_points_2d,
+};
+use pwe_geom::interval::Interval;
+use pwe_kdtree::build::{build_classic, build_p_batched, recommended_p};
+use pwe_sort::{incremental_sort, merge_sort_baseline};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experiment / variant label.
+    pub label: String,
+    /// Problem size.
+    pub n: usize,
+    /// Measured cost.
+    pub report: CostReport,
+}
+
+impl Row {
+    /// Render the row for the plain-text tables the harness prints.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<38} n={:<8} reads={:<12} writes={:<12} writes/n={:<8.2} work(ω={})={:<14} depth={}",
+            self.label,
+            self.n,
+            self.report.reads,
+            self.report.writes,
+            self.report.writes_per_element(self.n),
+            self.report.omega.get(),
+            self.report.work(),
+            self.report.depth
+        )
+    }
+}
+
+/// Print a titled table of rows.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    for row in rows {
+        println!("{}", row.render());
+    }
+}
+
+/// Experiment E-sort (Theorem 4.1): incremental sort vs merge-sort baseline.
+pub fn sort_experiment(n: usize, omega: Omega) -> Vec<Row> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let (_, merge) = measure(omega, || merge_sort_baseline(&keys));
+    let (_, incr) = measure(omega, || incremental_sort(&keys, 7));
+    vec![
+        Row { label: "sort/merge-sort (baseline)".into(), n, report: merge },
+        Row { label: "sort/incremental (write-efficient)".into(), n, report: incr },
+    ]
+}
+
+/// Experiment E-dt (Theorem 5.1): baseline vs write-efficient Delaunay.
+pub fn delaunay_experiment(n: usize, omega: Omega) -> Vec<Row> {
+    let points = uniform_grid_points(n, 1 << 20, 3);
+    let (_, base) = measure(omega, || triangulate_baseline(&points, 5));
+    let (_, we) = measure(omega, || triangulate_write_efficient(&points, 5));
+    vec![
+        Row { label: "delaunay/ParIncrementalDT (baseline)".into(), n, report: base },
+        Row { label: "delaunay/write-efficient".into(), n, report: we },
+    ]
+}
+
+/// Experiment E-kd (Theorem 6.1): classic vs p-batched k-d construction, with
+/// a p-ablation, plus the resulting tree heights.
+pub fn kdtree_experiment(n: usize, omega: Omega) -> (Vec<Row>, Vec<String>) {
+    let points = uniform_points_2d(n, 11);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+
+    let (classic, classic_report) = measure(omega, || build_classic(&points, 16));
+    rows.push(Row { label: "kdtree/classic (baseline)".into(), n, report: classic_report });
+    notes.push(format!("classic height = {}", classic.height()));
+
+    let log_n = (n.max(2) as f64).log2().ceil() as usize;
+    for (name, p) in [
+        ("p=1 (pure incremental)", 1usize),
+        ("p=log n", log_n),
+        ("p=log^2 n", log_n * log_n),
+        ("p=log^3 n (paper)", recommended_p(n)),
+    ] {
+        let ((tree, _), report) = measure(omega, || build_p_batched(&points, p, 16, 13));
+        rows.push(Row { label: format!("kdtree/p-batched {name}"), n, report });
+        notes.push(format!("p-batched {name}: height = {}", tree.height()));
+    }
+    (rows, notes)
+}
+
+/// Experiments T1-interval / E-aug-construct / E-aug-update for the interval
+/// tree: construction (classic vs post-sorted), query and update costs as a
+/// function of α.
+pub fn interval_experiment(n: usize, alphas: &[usize], omega: Omega) -> Vec<Row> {
+    let intervals = random_intervals(n, 1e6, 200.0, 17);
+    let queries = stabbing_queries(1000, 1e6, 18);
+    let updates = random_intervals(n / 10, 1e6, 200.0, 19);
+    let mut rows = Vec::new();
+
+    let (_, classic) = measure(omega, || IntervalTree::build_classic(&intervals, 2));
+    rows.push(Row { label: "interval/classic construction".into(), n, report: classic });
+    let (_, presorted) = measure(omega, || IntervalTree::build_presorted(&intervals, 2));
+    rows.push(Row { label: "interval/post-sorted construction".into(), n, report: presorted });
+
+    for &alpha in alphas {
+        let mut tree = IntervalTree::build_presorted(&intervals, alpha);
+        let (_, query_cost) = measure(omega, || {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += tree.stab(q).len();
+            }
+            total
+        });
+        rows.push(Row {
+            label: format!("interval/α={alpha} {} stabbing queries", queries.len()),
+            n,
+            report: query_cost,
+        });
+        let (_, update_cost) = measure(omega, || {
+            for (i, s) in updates.iter().enumerate() {
+                let s = Interval::new(s.left, s.right, 1_000_000 + i as u64);
+                tree.insert(&s);
+            }
+        });
+        rows.push(Row {
+            label: format!("interval/α={alpha} {} insertions", updates.len()),
+            n,
+            report: update_cost,
+        });
+    }
+    rows
+}
+
+/// Experiments T1-priority: construction and query costs of the priority
+/// search tree.
+pub fn priority_experiment(n: usize, omega: Omega) -> Vec<Row> {
+    let points: Vec<PsPoint> = uniform_points_2d(n, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| PsPoint { point, id: i as u64 })
+        .collect();
+    let queries = random_three_sided_queries(1000, 0.2, 24);
+    let mut rows = Vec::new();
+
+    let (_, classic) = measure(omega, || PrioritySearchTree::build_classic(&points));
+    rows.push(Row { label: "priority/classic construction".into(), n, report: classic });
+    let (tree, presorted) = measure(omega, || PrioritySearchTree::build_presorted(&points));
+    rows.push(Row { label: "priority/post-sorted construction".into(), n, report: presorted });
+
+    let (_, query_cost) = measure(omega, || {
+        let mut total = 0usize;
+        for &(lo, hi, y) in &queries {
+            total += tree.query_3sided(lo, hi, y).len();
+        }
+        total
+    });
+    rows.push(Row {
+        label: format!("priority/{} 3-sided queries", queries.len()),
+        n,
+        report: query_cost,
+    });
+
+    let mut tree = tree;
+    let extra: Vec<PsPoint> = uniform_points_2d(n / 10, 25)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| PsPoint { point, id: (n + i) as u64 })
+        .collect();
+    let (_, update_cost) = measure(omega, || {
+        for p in &extra {
+            tree.insert(*p);
+        }
+    });
+    rows.push(Row {
+        label: format!("priority/{} insertions", extra.len()),
+        n,
+        report: update_cost,
+    });
+    rows
+}
+
+/// Experiments T1-range: range-tree construction, query and update costs as a
+/// function of α.
+pub fn range_tree_experiment(n: usize, alphas: &[usize], omega: Omega) -> Vec<Row> {
+    let points: Vec<RtPoint> = uniform_points_2d(n, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| RtPoint { point, id: i as u64 })
+        .collect();
+    let rects = random_query_rects(500, 0.1, 32);
+    let extra: Vec<RtPoint> = uniform_points_2d(n / 10, 33)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| RtPoint { point, id: (n + i) as u64 })
+        .collect();
+    let mut rows = Vec::new();
+
+    for &alpha in alphas {
+        let (tree, construct) = measure(omega, || RangeTree2D::build(&points, alpha));
+        rows.push(Row {
+            label: format!("range-tree/α={alpha} construction (aug size {})", tree.augmentation_size()),
+            n,
+            report: construct,
+        });
+        let (_, query_cost) = measure(omega, || {
+            let mut total = 0usize;
+            for rect in &rects {
+                total += tree.query(rect).len();
+            }
+            total
+        });
+        rows.push(Row {
+            label: format!("range-tree/α={alpha} {} range queries", rects.len()),
+            n,
+            report: query_cost,
+        });
+        let mut tree = tree;
+        let (_, update_cost) = measure(omega, || {
+            for p in &extra {
+                tree.insert(*p);
+            }
+        });
+        rows.push(Row {
+            label: format!("range-tree/α={alpha} {} insertions", extra.len()),
+            n,
+            report: update_cost,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_experiment_shows_write_gap() {
+        let rows = sort_experiment(20_000, Omega::new(10));
+        assert_eq!(rows.len(), 2);
+        let merge = &rows[0].report;
+        let incr = &rows[1].report;
+        assert!(incr.writes < merge.writes);
+        assert!(incr.work() < merge.work());
+    }
+
+    #[test]
+    fn delaunay_experiment_shows_write_gap() {
+        let rows = delaunay_experiment(2_000, Omega::new(10));
+        assert!(rows[1].report.writes < rows[0].report.writes);
+    }
+
+    #[test]
+    fn kdtree_experiment_reports_all_p_values() {
+        let (rows, notes) = kdtree_experiment(5_000, Omega::new(10));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(notes.len(), 5);
+        // The paper's p = Θ(log³ n) setting writes less than the classic build.
+        assert!(rows.last().unwrap().report.writes < rows[0].report.writes);
+    }
+
+    #[test]
+    fn interval_experiment_alpha_sweep_runs() {
+        let rows = interval_experiment(3_000, &[2, 8], Omega::new(10));
+        // classic + post-sorted + 2 rows per α.
+        assert_eq!(rows.len(), 2 + 2 * 2);
+        assert!(rows[1].report.writes < rows[0].report.writes);
+    }
+}

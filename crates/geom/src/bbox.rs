@@ -1,0 +1,248 @@
+//! Axis-aligned boxes.
+//!
+//! [`Rect`] is the 2D axis-aligned rectangle used by range-tree and
+//! priority-search-tree queries; [`BBoxK`] is the k-dimensional box that
+//! describes k-d tree regions and range-query windows.
+
+use crate::point::{Point2, PointK};
+
+/// A 2D axis-aligned rectangle `[x_min, x_max] × [y_min, y_max]` (closed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum x.
+    pub x_min: f64,
+    /// Maximum x.
+    pub x_max: f64,
+    /// Minimum y.
+    pub y_min: f64,
+    /// Maximum y.
+    pub y_max: f64,
+}
+
+impl Rect {
+    /// Construct a rectangle; panics (debug) if the bounds are inverted.
+    pub fn new(x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> Self {
+        debug_assert!(x_min <= x_max && y_min <= y_max, "inverted rectangle");
+        Rect {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+        }
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the rectangle.
+    #[inline]
+    pub fn contains(&self, p: &Point2) -> bool {
+        p.x() >= self.x_min && p.x() <= self.x_max && p.y() >= self.y_min && p.y() <= self.y_max
+    }
+
+    /// Whether two rectangles intersect (closed intersection).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x_min <= other.x_max
+            && other.x_min <= self.x_max
+            && self.y_min <= other.y_max
+            && other.y_min <= self.y_max
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_min <= other.x_min
+            && other.x_max <= self.x_max
+            && self.y_min <= other.y_min
+            && other.y_max <= self.y_max
+    }
+
+    /// Width × height.
+    pub fn area(&self) -> f64 {
+        (self.x_max - self.x_min) * (self.y_max - self.y_min)
+    }
+}
+
+/// A k-dimensional axis-aligned box (closed on all faces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBoxK<const K: usize> {
+    /// Per-dimension minima.
+    pub min: [f64; K],
+    /// Per-dimension maxima.
+    pub max: [f64; K],
+}
+
+impl<const K: usize> BBoxK<K> {
+    /// Construct from per-dimension bounds.
+    pub fn new(min: [f64; K], max: [f64; K]) -> Self {
+        debug_assert!((0..K).all(|d| min[d] <= max[d]), "inverted box");
+        BBoxK { min, max }
+    }
+
+    /// The degenerate empty box (useful as a fold identity).
+    pub fn empty() -> Self {
+        BBoxK {
+            min: [f64::INFINITY; K],
+            max: [f64::NEG_INFINITY; K],
+        }
+    }
+
+    /// The box spanning the whole space.
+    pub fn everything() -> Self {
+        BBoxK {
+            min: [f64::NEG_INFINITY; K],
+            max: [f64::INFINITY; K],
+        }
+    }
+
+    /// Smallest box containing the given points.
+    pub fn bounding(points: &[PointK<K>]) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow the box to include `p`.
+    pub fn expand(&mut self, p: &PointK<K>) {
+        for d in 0..K {
+            self.min[d] = self.min[d].min(p.coords[d]);
+            self.max[d] = self.max[d].max(p.coords[d]);
+        }
+    }
+
+    /// Whether the box contains `p` (closed).
+    #[inline]
+    pub fn contains(&self, p: &PointK<K>) -> bool {
+        (0..K).all(|d| p.coords[d] >= self.min[d] && p.coords[d] <= self.max[d])
+    }
+
+    /// Whether the two boxes intersect (closed).
+    #[inline]
+    pub fn intersects(&self, other: &BBoxK<K>) -> bool {
+        (0..K).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    #[inline]
+    pub fn contains_box(&self, other: &BBoxK<K>) -> bool {
+        (0..K).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Squared distance from `p` to the box (0 if inside).
+    pub fn dist2_to_point(&self, p: &PointK<K>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..K {
+            let c = p.coords[d];
+            let delta = if c < self.min[d] {
+                self.min[d] - c
+            } else if c > self.max[d] {
+                c - self.max[d]
+            } else {
+                0.0
+            };
+            acc += delta * delta;
+        }
+        acc
+    }
+
+    /// Extent along dimension `d`.
+    pub fn extent(&self, d: usize) -> f64 {
+        self.max[d] - self.min[d]
+    }
+
+    /// The dimension with the largest extent.
+    pub fn longest_dimension(&self) -> usize {
+        (0..K)
+            .max_by(|&a, &b| {
+                self.extent(a)
+                    .partial_cmp(&self.extent(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the box is empty (no point ever expanded into it).
+    pub fn is_empty(&self) -> bool {
+        (0..K).any(|d| self.min[d] > self.max[d])
+    }
+
+    /// The aspect ratio between the largest and smallest positive extents
+    /// (used by the ANN query's bounded-aspect-ratio assumption).
+    pub fn aspect_ratio(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for d in 0..K {
+            let e = self.extent(d);
+            if e > 0.0 {
+                lo = lo.min(e);
+                hi = hi.max(e);
+            }
+        }
+        if lo.is_infinite() || lo == 0.0 {
+            1.0
+        } else {
+            hi / lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_containment_and_intersection() {
+        let r = Rect::new(0.0, 10.0, 0.0, 5.0);
+        assert!(r.contains(&Point2::xy(5.0, 2.5)));
+        assert!(r.contains(&Point2::xy(0.0, 0.0)));
+        assert!(r.contains(&Point2::xy(10.0, 5.0)));
+        assert!(!r.contains(&Point2::xy(10.1, 2.0)));
+        let s = Rect::new(9.0, 20.0, 4.0, 9.0);
+        assert!(r.intersects(&s));
+        assert!(s.intersects(&r));
+        let t = Rect::new(11.0, 20.0, 0.0, 5.0);
+        assert!(!r.intersects(&t));
+        assert!(r.contains_rect(&Rect::new(1.0, 2.0, 1.0, 2.0)));
+        assert!(!r.contains_rect(&s));
+        assert!((r.area() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_bounding_and_queries() {
+        let pts = vec![
+            PointK::<3>::new([0.0, 5.0, -1.0]),
+            PointK::<3>::new([2.0, 1.0, 4.0]),
+            PointK::<3>::new([-3.0, 2.0, 0.0]),
+        ];
+        let b = BBoxK::bounding(&pts);
+        assert_eq!(b.min, [-3.0, 1.0, -1.0]);
+        assert_eq!(b.max, [2.0, 5.0, 4.0]);
+        assert!(pts.iter().all(|p| b.contains(p)));
+        assert!(!b.contains(&PointK::new([0.0, 0.0, 0.0])));
+        // extents: 5, 4, 5 → the longest dimension is 0 or 2, never 1.
+        assert_ne!(b.longest_dimension(), 1);
+        assert!(b.extent(b.longest_dimension()) >= 5.0 - 1e-12);
+        assert!(!b.is_empty());
+        assert!(BBoxK::<2>::empty().is_empty());
+    }
+
+    #[test]
+    fn bbox_distance_to_point() {
+        let b = BBoxK::<2>::new([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(b.dist2_to_point(&Point2::xy(0.5, 0.5)), 0.0);
+        assert!((b.dist2_to_point(&Point2::xy(2.0, 1.0)) - 1.0).abs() < 1e-12);
+        assert!((b.dist2_to_point(&Point2::xy(2.0, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_intersections_and_aspect() {
+        let a = BBoxK::<2>::new([0.0, 0.0], [2.0, 1.0]);
+        let b = BBoxK::<2>::new([1.0, 0.5], [3.0, 2.0]);
+        let c = BBoxK::<2>::new([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(BBoxK::<2>::everything().contains_box(&a));
+        assert!((a.aspect_ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(BBoxK::<2>::empty().aspect_ratio(), 1.0);
+    }
+}

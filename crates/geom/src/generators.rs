@@ -1,0 +1,256 @@
+//! Seeded workload generators.
+//!
+//! The paper's analyses assume uniformly random insertion orders and points
+//! in general position.  The generators here produce the workloads that the
+//! examples, the integration tests and the benchmark harness share:
+//!
+//! * grid point sets (uniform in a square, clustered, near a circle) with
+//!   duplicates removed — the Delaunay inputs;
+//! * `f64` point sets in the unit cube (k-d tree / range tree inputs);
+//! * interval sets with controllable length distribution (interval tree
+//!   inputs) and stabbing / range / 3-sided query workloads.
+//!
+//! Every generator is deterministic in its seed so experiments are
+//! reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::interval::Interval;
+use crate::point::{GridPoint, Point2, PointK, GRID_LIMIT};
+use crate::bbox::Rect;
+
+/// Default half-width of the generated grid point square.  Much smaller than
+/// [`GRID_LIMIT`] so that the bounding triangle the Delaunay algorithm adds
+/// around the input also stays within the exact-arithmetic bound.
+pub const DEFAULT_GRID_SPAN: i64 = 1 << 20;
+
+/// `n` distinct grid points distributed uniformly in the square
+/// `[-span, span]²`.
+pub fn uniform_grid_points(n: usize, span: i64, seed: u64) -> Vec<GridPoint> {
+    assert!(span > 0 && span <= GRID_LIMIT / 4, "span out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = rng.gen_range(-span..=span);
+        let y = rng.gen_range(-span..=span);
+        if seen.insert((x, y)) {
+            pts.push(GridPoint::new(x, y));
+        }
+    }
+    pts
+}
+
+/// `n` distinct grid points drawn from `clusters` Gaussian-ish clusters in
+/// `[-span, span]²` — the "clustered" Delaunay / k-d workload.
+pub fn clustered_grid_points(n: usize, clusters: usize, span: i64, seed: u64) -> Vec<GridPoint> {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(span > 0 && span <= GRID_LIMIT / 4, "span out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(i64, i64)> = (0..clusters)
+        .map(|_| (rng.gen_range(-span..=span), rng.gen_range(-span..=span)))
+        .collect();
+    let sigma = (span as f64 / clusters as f64 / 2.0).max(2.0);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let (cx, cy) = centers[rng.gen_range(0..clusters)];
+        // Sum of uniforms ≈ Gaussian; keeps everything in integers.
+        let jitter = |rng: &mut StdRng| -> i64 {
+            let s: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 6.0;
+            (s * sigma) as i64
+        };
+        let x = (cx + jitter(&mut rng)).clamp(-span, span);
+        let y = (cy + jitter(&mut rng)).clamp(-span, span);
+        if seen.insert((x, y)) {
+            pts.push(GridPoint::new(x, y));
+        }
+    }
+    pts
+}
+
+/// `n` distinct grid points near a circle of radius `radius` — the
+/// degenerate-ish workload where Delaunay triangles become skinny.
+pub fn circle_grid_points(n: usize, radius: i64, seed: u64) -> Vec<GridPoint> {
+    assert!(radius > 0 && radius <= GRID_LIMIT / 4, "radius out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        // Small radial jitter keeps points off exact cocircularity.
+        let r = radius as f64 * rng.gen_range(0.98..1.02);
+        let x = (r * theta.cos()).round() as i64;
+        let y = (r * theta.sin()).round() as i64;
+        if seen.insert((x, y)) {
+            pts.push(GridPoint::new(x, y));
+        }
+    }
+    pts
+}
+
+/// `n` points uniform in the unit cube `[0, 1]^K`.
+pub fn uniform_points_k<const K: usize>(n: usize, seed: u64) -> Vec<PointK<K>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; K];
+            for c in coords.iter_mut() {
+                *c = rng.gen_range(0.0..1.0);
+            }
+            PointK::new(coords)
+        })
+        .collect()
+}
+
+/// `n` 2D points uniform in the unit square.
+pub fn uniform_points_2d(n: usize, seed: u64) -> Vec<Point2> {
+    uniform_points_k::<2>(n, seed)
+}
+
+/// `n` points in `[0,1]^K` drawn from `clusters` Gaussian clusters.
+pub fn clustered_points_k<const K: usize>(n: usize, clusters: usize, seed: u64) -> Vec<PointK<K>> {
+    assert!(clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<[f64; K]> = (0..clusters)
+        .map(|_| {
+            let mut c = [0.0; K];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(0.1..0.9);
+            }
+            c
+        })
+        .collect();
+    let sigma = 0.03;
+    (0..n)
+        .map(|_| {
+            let center = centers[rng.gen_range(0..clusters)];
+            let mut coords = [0.0; K];
+            for d in 0..K {
+                let jitter: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 6.0;
+                coords[d] = (center[d] + jitter * sigma).clamp(0.0, 1.0);
+            }
+            PointK::new(coords)
+        })
+        .collect()
+}
+
+/// `n` intervals with left endpoints uniform in `[0, domain]` and lengths
+/// uniform in `(0, max_len]`.
+pub fn random_intervals(n: usize, domain: f64, max_len: f64, seed: u64) -> Vec<Interval> {
+    assert!(domain > 0.0 && max_len > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let left = rng.gen_range(0.0..domain);
+            let len = rng.gen_range(f64::EPSILON..max_len);
+            Interval::new(left, left + len, id as u64)
+        })
+        .collect()
+}
+
+/// `q` stabbing-query points uniform in `[0, domain]`.
+pub fn stabbing_queries(q: usize, domain: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q).map(|_| rng.gen_range(0.0..domain)).collect()
+}
+
+/// `q` random query rectangles inside the unit square, each with side
+/// lengths around `side` (so the expected output size is controllable).
+pub fn random_query_rects(q: usize, side: f64, seed: u64) -> Vec<Rect> {
+    assert!(side > 0.0 && side <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| {
+            let w = rng.gen_range(0.2 * side..side);
+            let h = rng.gen_range(0.2 * side..side);
+            let x = rng.gen_range(0.0..(1.0 - w));
+            let y = rng.gen_range(0.0..(1.0 - h));
+            Rect::new(x, x + w, y, y + h)
+        })
+        .collect()
+}
+
+/// `q` random 3-sided queries `([x_lo, x_hi], y_lo)` inside the unit square.
+pub fn random_three_sided_queries(q: usize, width: f64, seed: u64) -> Vec<(f64, f64, f64)> {
+    assert!(width > 0.0 && width <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| {
+            let w = rng.gen_range(0.2 * width..width);
+            let x = rng.gen_range(0.0..(1.0 - w));
+            let y = rng.gen_range(0.0..1.0);
+            (x, x + w, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_points_are_distinct_and_bounded() {
+        let pts = uniform_grid_points(5000, 1 << 16, 1);
+        assert_eq!(pts.len(), 5000);
+        let set: HashSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        assert_eq!(set.len(), 5000);
+        assert!(pts.iter().all(|p| p.x.abs() <= 1 << 16 && p.y.abs() <= 1 << 16));
+        // Deterministic in the seed.
+        assert_eq!(pts, uniform_grid_points(5000, 1 << 16, 1));
+        assert_ne!(pts, uniform_grid_points(5000, 1 << 16, 2));
+    }
+
+    #[test]
+    fn clustered_points_hug_their_centers() {
+        let pts = clustered_grid_points(2000, 5, 1 << 16, 7);
+        assert_eq!(pts.len(), 2000);
+        let set: HashSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn circle_points_are_near_the_circle() {
+        let radius = 1 << 16;
+        let pts = circle_grid_points(1000, radius, 3);
+        assert_eq!(pts.len(), 1000);
+        for p in &pts {
+            let r = ((p.x * p.x + p.y * p.y) as f64).sqrt();
+            assert!((r / radius as f64 - 1.0).abs() < 0.05, "point too far from circle");
+        }
+    }
+
+    #[test]
+    fn unit_cube_points_in_bounds() {
+        let pts = uniform_points_k::<3>(1000, 11);
+        assert_eq!(pts.len(), 1000);
+        assert!(pts
+            .iter()
+            .all(|p| p.coords.iter().all(|&c| (0.0..1.0).contains(&c))));
+        let cl = clustered_points_k::<2>(1000, 4, 11);
+        assert!(cl
+            .iter()
+            .all(|p| p.coords.iter().all(|&c| (0.0..=1.0).contains(&c))));
+    }
+
+    #[test]
+    fn intervals_and_queries_are_well_formed() {
+        let ivs = random_intervals(500, 100.0, 5.0, 13);
+        assert_eq!(ivs.len(), 500);
+        assert!(ivs.iter().all(|s| s.left <= s.right && s.right - s.left <= 5.0));
+        // ids are unique
+        let ids: HashSet<u64> = ivs.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 500);
+
+        let qs = stabbing_queries(100, 100.0, 17);
+        assert!(qs.iter().all(|&x| (0.0..100.0).contains(&x)));
+
+        let rects = random_query_rects(50, 0.2, 19);
+        assert!(rects.iter().all(|r| r.x_min >= 0.0 && r.x_max <= 1.0 && r.y_min >= 0.0 && r.y_max <= 1.0));
+
+        let three = random_three_sided_queries(50, 0.3, 23);
+        assert!(three.iter().all(|&(lo, hi, y)| lo < hi && (0.0..1.0).contains(&y)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Closed intervals on the line.
+//!
+//! The interval tree of Section 7 stores a set of intervals
+//! `s_i = (l_i, r_i)` and answers 1D *stabbing* queries: report every
+//! interval containing a query point.
+
+use std::fmt;
+
+/// A closed interval `[left, right]` with `left ≤ right`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Left endpoint.
+    pub left: f64,
+    /// Right endpoint.
+    pub right: f64,
+    /// An opaque identifier so query results can be checked against the
+    /// generating workload (and so duplicates are distinguishable).
+    pub id: u64,
+}
+
+impl Interval {
+    /// Construct an interval; panics (debug) if `left > right`.
+    pub fn new(left: f64, right: f64, id: u64) -> Self {
+        debug_assert!(left <= right, "interval endpoints inverted: {left} > {right}");
+        Interval { left, right, id }
+    }
+
+    /// Whether the interval contains the point `x` (closed on both sides).
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.left <= x && x <= self.right
+    }
+
+    /// Whether two intervals overlap (closed intersection).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.left <= other.right && other.left <= self.right
+    }
+
+    /// Length of the interval.
+    pub fn length(&self) -> f64 {
+        self.right - self.left
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]#{}", self.left, self.right, self.id)
+    }
+}
+
+/// Brute-force stabbing query — the reference oracle used by tests to verify
+/// the interval tree.
+pub fn stab_bruteforce(intervals: &[Interval], x: f64) -> Vec<u64> {
+    let mut ids: Vec<u64> = intervals
+        .iter()
+        .filter(|s| s.contains(x))
+        .map(|s| s.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_closed() {
+        let s = Interval::new(1.0, 3.0, 0);
+        assert!(s.contains(1.0));
+        assert!(s.contains(3.0));
+        assert!(s.contains(2.0));
+        assert!(!s.contains(0.999));
+        assert!(!s.contains(3.001));
+        assert_eq!(s.length(), 2.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_closed() {
+        let a = Interval::new(0.0, 2.0, 0);
+        let b = Interval::new(2.0, 4.0, 1);
+        let c = Interval::new(4.5, 5.0, 2);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c) == c.overlaps(&b));
+    }
+
+    #[test]
+    fn bruteforce_stab_returns_sorted_ids() {
+        let intervals = vec![
+            Interval::new(0.0, 10.0, 3),
+            Interval::new(5.0, 6.0, 1),
+            Interval::new(7.0, 9.0, 2),
+        ];
+        assert_eq!(stab_bruteforce(&intervals, 5.5), vec![1, 3]);
+        assert_eq!(stab_bruteforce(&intervals, 8.0), vec![2, 3]);
+        assert_eq!(stab_bruteforce(&intervals, 20.0), Vec::<u64>::new());
+    }
+}

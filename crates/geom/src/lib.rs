@@ -1,0 +1,27 @@
+//! # pwe-geom — geometric primitives
+//!
+//! The geometric substrate shared by the write-efficient algorithms:
+//!
+//! * [`point`] — 2D integer-grid points (for exact Delaunay predicates),
+//!   k-dimensional floating-point points (for k-d trees and range trees).
+//! * [`predicates`] — exact orientation and in-circle tests on grid points
+//!   using `i128` arithmetic.  The paper assumes exact predicates and general
+//!   position; grid-snapped integer coordinates give exactness without a
+//!   floating-point filter stack (see DESIGN.md, "Substitutions").
+//! * [`bbox`] — axis-aligned boxes and rectangles for k-d tree regions and
+//!   range queries.
+//! * [`interval`] — closed intervals for the interval tree / stabbing queries.
+//! * [`generators`] — seeded workload generators (uniform, clustered,
+//!   on-circle point sets; random interval sets; query workloads) used by the
+//!   examples, the tests and the benchmark harness.
+
+pub mod bbox;
+pub mod generators;
+pub mod interval;
+pub mod point;
+pub mod predicates;
+
+pub use bbox::{BBoxK, Rect};
+pub use interval::Interval;
+pub use point::{GridPoint, PointK, Point2};
+pub use predicates::{in_circle, orient2d, Orientation};

@@ -1,0 +1,202 @@
+//! Point types.
+//!
+//! Two families of points are used in the workspace:
+//!
+//! * [`GridPoint`] — 2D points with integer coordinates on a bounded grid.
+//!   The Delaunay triangulation uses these so that its orientation and
+//!   in-circle predicates are exact in `i128` arithmetic (no floating-point
+//!   filters needed); the grid bound keeps the 4th-degree in-circle
+//!   determinant comfortably inside 128 bits.
+//! * [`PointK`] / [`Point2`] — k-dimensional `f64` points for k-d trees,
+//!   nearest-neighbour queries, range trees and priority search trees, where
+//!   only coordinate comparisons (not algebraic predicates) are required.
+
+use std::fmt;
+
+/// Coordinates of [`GridPoint`]s must satisfy `|x|, |y| ≤ GRID_LIMIT` so that
+/// the in-circle determinant (degree 4 in the coordinates, with 12 terms and
+/// cofactor expansion) cannot overflow `i128`.
+pub const GRID_LIMIT: i64 = 1 << 26;
+
+/// A 2D point with exact integer coordinates on a bounded grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// x coordinate, `|x| ≤ GRID_LIMIT`.
+    pub x: i64,
+    /// y coordinate, `|y| ≤ GRID_LIMIT`.
+    pub y: i64,
+}
+
+impl GridPoint {
+    /// Construct a grid point; panics (debug) if outside the safe grid bound.
+    #[inline]
+    pub fn new(x: i64, y: i64) -> Self {
+        debug_assert!(
+            x.abs() <= GRID_LIMIT && y.abs() <= GRID_LIMIT,
+            "grid point ({x},{y}) outside the exact-arithmetic bound ±{GRID_LIMIT}"
+        );
+        GridPoint { x, y }
+    }
+
+    /// Squared Euclidean distance to another grid point, exactly, in `i128`.
+    #[inline]
+    pub fn dist2(&self, other: &GridPoint) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Lexicographic (x, then y) comparison key.
+    #[inline]
+    pub fn xy_key(&self) -> (i64, i64) {
+        (self.x, self.y)
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A k-dimensional point with `f64` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointK<const K: usize> {
+    /// The coordinates.
+    pub coords: [f64; K],
+}
+
+/// A 2-dimensional `f64` point.
+pub type Point2 = PointK<2>;
+
+/// A 3-dimensional `f64` point.
+pub type Point3 = PointK<3>;
+
+impl<const K: usize> PointK<K> {
+    /// Construct from a coordinate array.
+    #[inline]
+    pub fn new(coords: [f64; K]) -> Self {
+        PointK { coords }
+    }
+
+    /// The point at the origin.
+    pub fn origin() -> Self {
+        PointK { coords: [0.0; K] }
+    }
+
+    /// Coordinate along dimension `d`.
+    #[inline]
+    pub fn coord(&self, d: usize) -> f64 {
+        self.coords[d]
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &PointK<K>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..K {
+            let diff = self.coords[d] - other.coords[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &PointK<K>) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Number of dimensions.
+    pub const fn dims(&self) -> usize {
+        K
+    }
+}
+
+impl Point2 {
+    /// x coordinate (dimension 0).
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// y coordinate (dimension 1).
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
+    }
+
+    /// Construct from x and y.
+    #[inline]
+    pub fn xy(x: f64, y: f64) -> Self {
+        PointK { coords: [x, y] }
+    }
+}
+
+impl<const K: usize> fmt::Display for PointK<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_point_distance_is_exact() {
+        let a = GridPoint::new(0, 0);
+        let b = GridPoint::new(3, 4);
+        assert_eq!(a.dist2(&b), 25);
+        assert_eq!(b.dist2(&a), 25);
+        let far = GridPoint::new(GRID_LIMIT, GRID_LIMIT);
+        let far2 = GridPoint::new(-GRID_LIMIT, -GRID_LIMIT);
+        // (2*2^26)^2 * 2 fits easily in i128 and must not overflow.
+        assert!(far.dist2(&far2) > 0);
+    }
+
+    #[test]
+    fn grid_point_ordering_is_lexicographic() {
+        let a = GridPoint::new(1, 5);
+        let b = GridPoint::new(2, 0);
+        let c = GridPoint::new(1, 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert_eq!(a.xy_key(), (1, 5));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore)]
+    #[should_panic]
+    fn grid_point_out_of_bounds_panics_in_debug() {
+        let _ = GridPoint::new(GRID_LIMIT + 1, 0);
+    }
+
+    #[test]
+    fn pointk_distances() {
+        let a = Point2::xy(1.0, 2.0);
+        let b = Point2::xy(4.0, 6.0);
+        assert!((a.dist2(&b) - 25.0).abs() < 1e-12);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.x(), 1.0);
+        assert_eq!(a.y(), 2.0);
+        assert_eq!(a.dims(), 2);
+
+        let p3 = PointK::<3>::new([1.0, 2.0, 2.0]);
+        let o3 = PointK::<3>::origin();
+        assert!((p3.dist(&o3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GridPoint::new(3, -4).to_string(), "(3, -4)");
+        assert_eq!(Point2::xy(1.5, 2.0).to_string(), "(1.5, 2)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact geometric predicates on grid points.
+//!
+//! Delaunay triangulation needs two predicates:
+//!
+//! * `orient2d(a, b, c)` — does `c` lie to the left of, to the right of, or
+//!   on the directed line `a → b`?
+//! * `in_circle(a, b, c, d)` — does `d` lie inside the circumcircle of the
+//!   counter-clockwise triangle `(a, b, c)`?
+//!
+//! With coordinates bounded by [`crate::point::GRID_LIMIT`] (±2²⁶), both
+//! determinants fit in `i128` (orientation is degree 2, in-circle is degree 4
+//! with intermediate magnitudes below 2¹¹³), so the predicates are exact with
+//! plain integer arithmetic — no adaptive floating-point filters required.
+//! This matches the paper's assumption of exact predicates and points in
+//! general position; the generators in [`crate::generators`] produce
+//! grid-snapped, deduplicated point sets.
+
+use crate::point::GridPoint;
+
+/// The sign of an orientation test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` is strictly to the left of the directed line `a → b` (counter-clockwise).
+    CounterClockwise,
+    /// `c` is strictly to the right of the directed line `a → b` (clockwise).
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Exact 2D orientation test.
+///
+/// Returns the sign of the determinant
+/// `| bx-ax  by-ay |`
+/// `| cx-ax  cy-ay |`.
+#[inline]
+pub fn orient2d(a: GridPoint, b: GridPoint, c: GridPoint) -> Orientation {
+    let det = orient2d_det(a, b, c);
+    if det > 0 {
+        Orientation::CounterClockwise
+    } else if det < 0 {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// The raw orientation determinant (positive ⇔ counter-clockwise).
+#[inline]
+pub fn orient2d_det(a: GridPoint, b: GridPoint, c: GridPoint) -> i128 {
+    let abx = (b.x - a.x) as i128;
+    let aby = (b.y - a.y) as i128;
+    let acx = (c.x - a.x) as i128;
+    let acy = (c.y - a.y) as i128;
+    abx * acy - aby * acx
+}
+
+/// Whether the triangle `(a, b, c)` is oriented counter-clockwise.
+#[inline]
+pub fn is_ccw(a: GridPoint, b: GridPoint, c: GridPoint) -> bool {
+    orient2d_det(a, b, c) > 0
+}
+
+/// Exact in-circle test: is `d` strictly inside the circumcircle of the
+/// **counter-clockwise** triangle `(a, b, c)`?
+///
+/// If `(a, b, c)` is clockwise the sign flips (standard determinant
+/// behaviour); callers in the Delaunay code always pass CCW triangles.
+#[inline]
+pub fn in_circle(a: GridPoint, b: GridPoint, c: GridPoint, d: GridPoint) -> bool {
+    in_circle_det(a, b, c, d) > 0
+}
+
+/// The raw in-circle determinant (positive ⇔ `d` inside the circumcircle of a
+/// CCW triangle `(a, b, c)`).
+pub fn in_circle_det(a: GridPoint, b: GridPoint, c: GridPoint, d: GridPoint) -> i128 {
+    let adx = (a.x - d.x) as i128;
+    let ady = (a.y - d.y) as i128;
+    let bdx = (b.x - d.x) as i128;
+    let bdy = (b.y - d.y) as i128;
+    let cdx = (c.x - d.x) as i128;
+    let cdy = (c.y - d.y) as i128;
+
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+
+    adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) + ad2 * (bdx * cdy - cdx * bdy)
+}
+
+/// Whether `p` lies inside or on the boundary of the CCW triangle `(a, b, c)`.
+pub fn point_in_triangle(a: GridPoint, b: GridPoint, c: GridPoint, p: GridPoint) -> bool {
+    debug_assert!(is_ccw(a, b, c), "point_in_triangle expects a CCW triangle");
+    orient2d_det(a, b, p) >= 0 && orient2d_det(b, c, p) >= 0 && orient2d_det(c, a, p) >= 0
+}
+
+/// Whether the four points are in "general position" for Delaunay purposes:
+/// no three collinear and no four cocircular among the given quadruple.
+pub fn general_position(a: GridPoint, b: GridPoint, c: GridPoint, d: GridPoint) -> bool {
+    let orientations_ok = orient2d(a, b, c) != Orientation::Collinear
+        && orient2d(a, b, d) != Orientation::Collinear
+        && orient2d(a, c, d) != Orientation::Collinear
+        && orient2d(b, c, d) != Orientation::Collinear;
+    if !orientations_ok {
+        return false;
+    }
+    // Cocircularity is orientation-independent up to sign; use a CCW copy.
+    let (aa, bb, cc) = if is_ccw(a, b, c) { (a, b, c) } else { (a, c, b) };
+    in_circle_det(aa, bb, cc, d) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GRID_LIMIT;
+    use proptest::prelude::*;
+
+    fn p(x: i64, y: i64) -> GridPoint {
+        GridPoint::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(orient2d(p(0, 0), p(1, 0), p(0, 1)), Orientation::CounterClockwise);
+        assert_eq!(orient2d(p(0, 0), p(0, 1), p(1, 0)), Orientation::Clockwise);
+        assert_eq!(orient2d(p(0, 0), p(1, 1), p(2, 2)), Orientation::Collinear);
+        assert!(is_ccw(p(0, 0), p(5, 0), p(0, 5)));
+        assert!(!is_ccw(p(0, 0), p(0, 5), p(5, 0)));
+    }
+
+    #[test]
+    fn orientation_is_exact_at_grid_extremes() {
+        // Nearly-collinear points that would defeat naive f64 arithmetic.
+        let a = p(-GRID_LIMIT, -GRID_LIMIT);
+        let b = p(GRID_LIMIT, GRID_LIMIT);
+        let c = p(GRID_LIMIT - 1, GRID_LIMIT); // one grid cell off the diagonal
+        assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        let c2 = p(GRID_LIMIT, GRID_LIMIT - 1);
+        assert_eq!(orient2d(a, b, c2), Orientation::Clockwise);
+        let c3 = p(0, 0);
+        assert_eq!(orient2d(a, b, c3), Orientation::Collinear);
+    }
+
+    #[test]
+    fn in_circle_basic() {
+        // Unit-ish circle through (0,0), (2,0), (0,2); centre (1,1), r² = 2.
+        let (a, b, c) = (p(0, 0), p(2, 0), p(0, 2));
+        assert!(is_ccw(a, b, c));
+        assert!(in_circle(a, b, c, p(1, 1)));
+        assert!(!in_circle(a, b, c, p(3, 3)));
+        // (2,2) is exactly on the circle: not strictly inside.
+        assert!(!in_circle(a, b, c, p(2, 2)));
+        assert_eq!(in_circle_det(a, b, c, p(2, 2)), 0);
+    }
+
+    #[test]
+    fn in_circle_sign_flips_with_orientation() {
+        let (a, b, c) = (p(0, 0), p(4, 0), p(0, 4));
+        let d = p(1, 1);
+        assert!(in_circle_det(a, b, c, d) > 0);
+        assert!(in_circle_det(a, c, b, d) < 0);
+    }
+
+    #[test]
+    fn in_circle_no_overflow_at_extremes() {
+        let a = p(-GRID_LIMIT, -GRID_LIMIT);
+        let b = p(GRID_LIMIT, -GRID_LIMIT);
+        let c = p(0, GRID_LIMIT);
+        assert!(is_ccw(a, b, c));
+        assert!(in_circle(a, b, c, p(0, 0)));
+        assert!(!in_circle(a, b, c, p(GRID_LIMIT, GRID_LIMIT)));
+    }
+
+    #[test]
+    fn point_in_triangle_basic() {
+        let (a, b, c) = (p(0, 0), p(10, 0), p(0, 10));
+        assert!(point_in_triangle(a, b, c, p(1, 1)));
+        assert!(point_in_triangle(a, b, c, p(0, 0))); // vertex counts as inside
+        assert!(point_in_triangle(a, b, c, p(5, 5))); // on the hypotenuse
+        assert!(!point_in_triangle(a, b, c, p(6, 6)));
+        assert!(!point_in_triangle(a, b, c, p(-1, 3)));
+    }
+
+    #[test]
+    fn general_position_detects_degeneracies() {
+        assert!(general_position(p(0, 0), p(5, 1), p(2, 7), p(9, 4)));
+        // three collinear
+        assert!(!general_position(p(0, 0), p(1, 1), p(2, 2), p(5, 0)));
+        // four cocircular (square corners)
+        assert!(!general_position(p(0, 0), p(2, 0), p(2, 2), p(0, 2)));
+    }
+
+    fn small_coord() -> impl Strategy<Value = i64> {
+        -1000i64..1000
+    }
+
+    proptest! {
+        #[test]
+        fn prop_orientation_antisymmetry(
+            ax in small_coord(), ay in small_coord(),
+            bx in small_coord(), by in small_coord(),
+            cx in small_coord(), cy in small_coord(),
+        ) {
+            let (a, b, c) = (p(ax, ay), p(bx, by), p(cx, cy));
+            prop_assert_eq!(orient2d_det(a, b, c), -orient2d_det(a, c, b));
+            prop_assert_eq!(orient2d_det(a, b, c), orient2d_det(b, c, a));
+        }
+
+        #[test]
+        fn prop_in_circle_symmetry_under_rotation(
+            ax in small_coord(), ay in small_coord(),
+            bx in small_coord(), by in small_coord(),
+            cx in small_coord(), cy in small_coord(),
+            dx in small_coord(), dy in small_coord(),
+        ) {
+            let (a, b, c, d) = (p(ax, ay), p(bx, by), p(cx, cy), p(dx, dy));
+            // Rotating the first three arguments does not change the determinant.
+            prop_assert_eq!(in_circle_det(a, b, c, d), in_circle_det(b, c, a, d));
+            prop_assert_eq!(in_circle_det(a, b, c, d), in_circle_det(c, a, b, d));
+        }
+
+        #[test]
+        fn prop_in_circle_translation_invariance(
+            ax in small_coord(), ay in small_coord(),
+            bx in small_coord(), by in small_coord(),
+            cx in small_coord(), cy in small_coord(),
+            dx in small_coord(), dy in small_coord(),
+            tx in -500i64..500, ty in -500i64..500,
+        ) {
+            let t = |q: GridPoint| p(q.x + tx, q.y + ty);
+            let (a, b, c, d) = (p(ax, ay), p(bx, by), p(cx, cy), p(dx, dy));
+            prop_assert_eq!(
+                in_circle_det(a, b, c, d).signum(),
+                in_circle_det(t(a), t(b), t(c), t(d)).signum()
+            );
+            prop_assert_eq!(
+                orient2d_det(a, b, c).signum(),
+                orient2d_det(t(a), t(b), t(c)).signum()
+            );
+        }
+
+        #[test]
+        fn prop_circumcenter_is_inside(
+            ax in small_coord(), ay in small_coord(),
+            bx in small_coord(), by in small_coord(),
+            cx in small_coord(), cy in small_coord(),
+        ) {
+            let (a, b, c) = (p(ax, ay), p(bx, by), p(cx, cy));
+            prop_assume!(is_ccw(a, b, c));
+            // Any vertex of the triangle is ON the circle, never strictly inside.
+            prop_assert_eq!(in_circle_det(a, b, c, a), 0);
+            prop_assert_eq!(in_circle_det(a, b, c, b), 0);
+            prop_assert_eq!(in_circle_det(a, b, c, c), 0);
+        }
+    }
+}

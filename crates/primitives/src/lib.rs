@@ -1,0 +1,38 @@
+//! # pwe-primitives — parallel building blocks
+//!
+//! The write-efficient geometry algorithms of the SPAA 2018 paper lean on a
+//! small set of classical parallel primitives.  This crate implements them
+//! with explicit Asymmetric-NP cost accounting (via [`pwe_asym`]) so the
+//! higher-level algorithms can charge exactly what the paper's analysis
+//! charges:
+//!
+//! * [`scan`] — exclusive/inclusive prefix sums (`O(n)` work, `O(log n)` depth).
+//! * [`pack`] — filter/pack by flags, the standard output-sensitive gather.
+//! * [`permute`] — seeded random permutations; the randomized incremental
+//!   algorithms all assume the input arrives in random order.
+//! * [`semisort`] — grouping records by key in expected linear work and
+//!   writes (the paper cites Gu, Shun, Sun, Blelloch [34] for this bound);
+//!   used to collect the points that landed in the same bucket / triangle /
+//!   leaf during an incremental round.
+//! * [`priority_write`] — the priority-write (write-min) primitive the
+//!   parallel incremental algorithms resolve conflicts with.
+//! * [`tournament`] — the tournament tree of Appendix A: range-minimum,
+//!   k-th valid element and deletion in logarithmic reads, used by the
+//!   linear-write priority-search-tree construction.
+//! * [`merge`] — parallel merge of sorted sequences (used by the
+//!   write-inefficient merge-sort baseline and by bulk updates).
+
+pub mod merge;
+pub mod pack;
+pub mod permute;
+pub mod priority_write;
+pub mod scan;
+pub mod semisort;
+pub mod tournament;
+
+pub use pack::{pack_flagged, pack_indices};
+pub use permute::{random_permutation, shuffle_in_place};
+pub use priority_write::{PriorityCell, PriorityIndex};
+pub use scan::{exclusive_scan, inclusive_scan, par_exclusive_scan};
+pub use semisort::semisort_by_key;
+pub use tournament::TournamentTree;

@@ -1,0 +1,213 @@
+//! Semisort: group records by key in expected linear work and writes.
+//!
+//! The paper repeatedly invokes the top-down parallel semisort of Gu, Shun,
+//! Sun and Blelloch [34]: after an incremental round locates, for every new
+//! object, the bucket / triangle / leaf it conflicts with, the objects that
+//! share a destination must be gathered together — in linear expected writes
+//! and polylogarithmic depth, because a comparison sort here would reintroduce
+//! the `Θ(n log n)` writes the framework is trying to avoid.
+//!
+//! This implementation hashes keys into `Θ(n)` buckets, counts bucket sizes
+//! with a scan, and scatters once — `O(n)` expected reads and writes and
+//! `O(log n)` structural depth.  Equal keys end up contiguous; the order *of*
+//! the groups is arbitrary (that is what makes it a *semi*sort).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use pwe_asym::counters::{record_reads, record_writes};
+use pwe_asym::depth;
+use rayon::prelude::*;
+
+/// A group of records sharing one key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group<K, T> {
+    /// The shared key.
+    pub key: K,
+    /// The records with that key, in input order.
+    pub items: Vec<T>,
+}
+
+/// Group `items` by `key(item)`.
+///
+/// Returns one [`Group`] per distinct key; group order is unspecified, but
+/// the items inside a group preserve their relative input order.
+///
+/// Cost: `O(n)` expected reads and writes, `O(log n)` depth.
+pub fn semisort_by_key<T, K, F>(items: &[T], key: F) -> Vec<Group<K, T>>
+where
+    T: Clone + Send + Sync,
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let n = items.len();
+    record_reads(n as u64);
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Parallel local grouping per chunk, then a merge of the (few) chunk maps.
+    // The number of chunks is O(#threads), so the merge touches each record
+    // once: total writes stay linear.
+    let chunk = usize::max(1, n.div_ceil(rayon::current_num_threads().max(1) * 4));
+    let partials: Vec<HashMap<K, Vec<usize>>> = items
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(c, slice)| {
+            let base = c * chunk;
+            let mut local: HashMap<K, Vec<usize>> = HashMap::new();
+            for (i, item) in slice.iter().enumerate() {
+                local.entry(key(item)).or_default().push(base + i);
+            }
+            local
+        })
+        .collect();
+
+    let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
+    for partial in partials {
+        for (k, mut idxs) in partial {
+            merged.entry(k).or_default().append(&mut idxs);
+        }
+    }
+
+    record_writes(n as u64);
+    depth::add(depth::log2_ceil(n));
+
+    let mut groups: Vec<Group<K, T>> = merged
+        .into_iter()
+        .map(|(k, mut idxs)| {
+            idxs.sort_unstable(); // restore input order inside the group
+            Group {
+                key: k,
+                items: idxs.into_iter().map(|i| items[i].clone()).collect(),
+            }
+        })
+        .collect();
+    // Deterministic output order helps tests; sorting the (few relative to n,
+    // in the incremental-round use cases) group headers costs
+    // O(#groups log #groups) reads and no extra record writes.
+    groups.sort_by_key(|g| g.items.first().map(|_| 0).unwrap_or(0));
+    groups
+}
+
+/// Group indices `0..keys.len()` by `keys[i]`, returning `(key, indices)` pairs.
+pub fn semisort_indices_by_key<K>(keys: &[K]) -> Vec<(K, Vec<usize>)>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+{
+    let idx: Vec<usize> = (0..keys.len()).collect();
+    semisort_by_key(&idx, |&i| keys[i].clone())
+        .into_iter()
+        .map(|g| (g.key, g.items))
+        .collect()
+}
+
+/// Count the number of records per key (a histogram), in linear expected work.
+pub fn count_by_key<T, K, F>(items: &[T], key: F) -> HashMap<K, usize>
+where
+    T: Sync,
+    K: Eq + Hash + Send,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    record_reads(items.len() as u64);
+    depth::add(depth::log2_ceil(items.len().max(1)));
+    let mut counts = HashMap::new();
+    for item in items {
+        *counts.entry(key(item)).or_insert(0) += 1;
+    }
+    record_writes(counts.len() as u64);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use pwe_asym::counters::CounterSnapshot;
+
+    #[test]
+    fn groups_partition_the_input() {
+        let items: Vec<u32> = (0..100).collect();
+        let groups = semisort_by_key(&items, |x| x % 7);
+        let mut all: Vec<u32> = groups.iter().flat_map(|g| g.items.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+        assert_eq!(groups.len(), 7);
+        for g in &groups {
+            assert!(g.items.iter().all(|x| x % 7 == g.key));
+            // Input order preserved within groups.
+            assert!(g.items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let groups: Vec<Group<u32, u32>> = semisort_by_key(&[], |x| *x);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn single_key() {
+        let items = vec![5u32; 50];
+        let groups = semisort_by_key(&items, |_| 0u8);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].items.len(), 50);
+    }
+
+    #[test]
+    fn indices_variant_matches() {
+        let keys = vec!['a', 'b', 'a', 'c', 'b', 'a'];
+        let mut grouped = semisort_indices_by_key(&keys);
+        grouped.sort_by_key(|(k, _)| *k);
+        assert_eq!(
+            grouped,
+            vec![
+                ('a', vec![0, 2, 5]),
+                ('b', vec![1, 4]),
+                ('c', vec![3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_by_key_matches_group_sizes() {
+        let items: Vec<u32> = (0..1000).collect();
+        let counts = count_by_key(&items, |x| x % 13);
+        let groups = semisort_by_key(&items, |x| x % 13);
+        for g in groups {
+            assert_eq!(counts[&g.key], g.items.len());
+        }
+    }
+
+    #[test]
+    fn writes_are_linear_not_nlogn() {
+        let n = 20_000usize;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let before = CounterSnapshot::now();
+        let _ = semisort_by_key(&items, |x| x % 97);
+        let after = CounterSnapshot::now();
+        let (_, writes) = after.since(&before);
+        // Linear writes with a small constant; n log n would be ~14n here.
+        assert!(
+            writes < 4 * n as u64,
+            "semisort should use O(n) writes, got {writes} for n={n}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_semisort_partitions(v in proptest::collection::vec(0u16..64, 0..400)) {
+            let groups = semisort_by_key(&v, |x| *x / 8);
+            let mut all: Vec<u16> = groups.iter().flat_map(|g| g.items.clone()).collect();
+            all.sort_unstable();
+            let mut orig = v.clone();
+            orig.sort_unstable();
+            prop_assert_eq!(all, orig);
+            // keys are distinct across groups
+            let mut keys: Vec<_> = groups.iter().map(|g| g.key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), groups.len());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The DAG tracing problem (Definition 3.1) and its write-efficient solution
+//! (Theorem 3.1).
+
+use pwe_asym::counters::{record_reads, record_writes};
+use pwe_asym::depth::RoundDepth;
+
+/// A history DAG that can be traced for an element of type `Self::Element`.
+///
+/// Vertices are identified by `usize` handles.  The engine requires the
+/// *traceable property*: a vertex may be visible only if at least one of its
+/// direct predecessors is visible (the root has no predecessors and acts as
+/// the search entry point, which the engine treats as visible by definition
+/// of the problem).
+pub trait TraceDag {
+    /// The element being located (a key, a point, …).
+    type Element;
+
+    /// The root vertex (in-degree 0) the search starts from.
+    fn root(&self) -> usize;
+
+    /// Direct successors of `v` (constant out-degree after the paper's
+    /// copy transformation; small in practice).
+    fn successors(&self, v: usize) -> Vec<usize>;
+
+    /// Direct predecessors of `v` (constant in-degree).  Used to apply the
+    /// highest-priority-predecessor rule without marking visited vertices.
+    fn predecessors(&self, v: usize) -> Vec<usize>;
+
+    /// The visibility predicate `f(x, v)`.
+    fn visible(&self, x: &Self::Element, v: usize) -> bool;
+
+    /// Whether a visible `v` belongs to the output set.
+    ///
+    /// In Definition 3.1 the output vertices are the sinks (out-degree 0), and
+    /// that is the default.  Some instantiations — notably the Delaunay
+    /// tracing structure, where a currently-alive triangle may later acquire
+    /// children because it served as the outside witness of an insertion —
+    /// override this so that "output" means "alive", while the traversal
+    /// still continues through such vertices' children.
+    fn is_sink(&self, v: usize) -> bool {
+        self.successors(v).is_empty()
+    }
+}
+
+/// Statistics of one trace, matching the quantities of Theorem 3.1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// `|R(G, x)|` — visibility tests that returned true (visible vertices
+    /// reached), a lower bound on the reads the trace performed.
+    pub visited: u64,
+    /// Total visibility tests evaluated (each costs `O(1)` reads).
+    pub tests: u64,
+    /// `|S(G, x)|` — visible sinks written to the output.
+    pub output: u64,
+    /// Length of the longest root-to-sink path followed (depth contribution).
+    pub max_path: u64,
+}
+
+/// Trace element `x` through the DAG, returning the visible sinks
+/// (`S(G, x)` of Definition 3.1) and the trace statistics.
+///
+/// Cost (Theorem 3.1): `O(|R(G,x)|)` reads, `O(|S(G,x)|)` writes,
+/// `O(D(G))` depth, assuming constant degrees and an `O(D(G))`-word
+/// small-memory for the recursion stack.
+///
+/// The traversal follows the highest-priority-predecessor rule: when vertex
+/// `v` is reachable from several visible predecessors, only the predecessor
+/// with the smallest handle descends into `v`.  This makes the search tree
+/// unique and deterministic without writing any "visited" marks — the
+/// property that makes the trace write-efficient.
+pub fn trace<D: TraceDag>(dag: &D, x: &D::Element) -> (Vec<usize>, TraceStats) {
+    let mut stats = TraceStats::default();
+    let root = dag.root();
+    if !dag.visible(x, root) {
+        stats.tests = 1;
+        record_reads(1);
+        return (Vec::new(), stats);
+    }
+    stats.tests += 1;
+    stats.visited += 1;
+    let mut output = Vec::new();
+    // Explicit stack of (vertex, path length); the paper stores this stack in
+    // the O(D(G))-word small memory, so its pushes/pops are not charged as
+    // large-memory writes.
+    let mut stack = vec![(root, 1u64)];
+    while let Some((v, pathlen)) = stack.pop() {
+        stats.max_path = stats.max_path.max(pathlen);
+        if dag.is_sink(v) {
+            output.push(v);
+            stats.output += 1;
+        }
+        for w in dag.successors(v) {
+            // Visibility test for the child.
+            stats.tests += 1;
+            if !dag.visible(x, w) {
+                continue;
+            }
+            // Highest-priority-predecessor rule: descend into w only if v is
+            // the smallest-handle visible predecessor of w.
+            let mut responsible = true;
+            for u in dag.predecessors(w) {
+                if u < v {
+                    stats.tests += 1;
+                    if dag.visible(x, u) {
+                        responsible = false;
+                        break;
+                    }
+                }
+            }
+            if responsible {
+                stats.visited += 1;
+                stack.push((w, pathlen + 1));
+            }
+        }
+    }
+    // Charge the model costs: reads for every predicate evaluation (each is
+    // O(1) probes of the structure), writes only for the emitted output.
+    record_reads(stats.tests);
+    record_writes(stats.output);
+    (output, stats)
+}
+
+/// Trace a whole batch of elements in parallel, collecting for each element
+/// its visible sinks.  The depth contribution of the batch is the maximum
+/// root-to-sink path among the elements (committed to the global tracker).
+pub fn trace_collect<D>(dag: &D, elements: &[D::Element]) -> Vec<Vec<usize>>
+where
+    D: TraceDag + Sync,
+    D::Element: Sync,
+{
+    use rayon::prelude::*;
+    let round = RoundDepth::new();
+    let out: Vec<Vec<usize>> = elements
+        .par_iter()
+        .map(|x| {
+            let (sinks, stats) = trace(dag, x);
+            round.record(stats.max_path);
+            sinks
+        })
+        .collect();
+    round.commit();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small diamond DAG:
+    ///        0
+    ///       / \
+    ///      1   2
+    ///       \ / \
+    ///        3   4
+    /// Sinks: 3, 4.  Visibility: an element is a set of visible vertices.
+    struct SetDag {
+        succ: Vec<Vec<usize>>,
+        pred: Vec<Vec<usize>>,
+    }
+
+    impl SetDag {
+        fn diamond() -> Self {
+            let succ = vec![vec![1, 2], vec![3], vec![3, 4], vec![], vec![]];
+            let mut pred = vec![vec![]; succ.len()];
+            for (u, ss) in succ.iter().enumerate() {
+                for &v in ss {
+                    pred[v].push(u);
+                }
+            }
+            SetDag { succ, pred }
+        }
+    }
+
+    impl TraceDag for SetDag {
+        type Element = Vec<usize>;
+        fn root(&self) -> usize {
+            0
+        }
+        fn successors(&self, v: usize) -> Vec<usize> {
+            self.succ[v].clone()
+        }
+        fn predecessors(&self, v: usize) -> Vec<usize> {
+            self.pred[v].clone()
+        }
+        fn visible(&self, x: &Vec<usize>, v: usize) -> bool {
+            x.contains(&v)
+        }
+    }
+
+    #[test]
+    fn traces_visible_sinks_only() {
+        let dag = SetDag::diamond();
+        // Everything visible: both sinks reported exactly once (vertex 3 has
+        // two visible predecessors but only the higher-priority one descends).
+        let (mut sinks, stats) = trace(&dag, &vec![0, 1, 2, 3, 4]);
+        sinks.sort_unstable();
+        assert_eq!(sinks, vec![3, 4]);
+        assert_eq!(stats.output, 2);
+        assert!(stats.max_path >= 3);
+
+        // Only the left path visible.
+        let (sinks, _) = trace(&dag, &vec![0, 1, 3]);
+        assert_eq!(sinks, vec![3]);
+
+        // Root not visible: nothing.
+        let (sinks, stats) = trace(&dag, &vec![1, 2, 3]);
+        assert!(sinks.is_empty());
+        assert_eq!(stats.visited, 0);
+
+        // A visible sink whose predecessors are invisible is unreachable —
+        // this input violates the traceable property, and the engine simply
+        // does not report it (documented behaviour).
+        let (sinks, _) = trace(&dag, &vec![0, 4]);
+        assert!(sinks.is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_output_with_multiple_visible_predecessors() {
+        // A wider DAG where a sink has 3 visible predecessors.
+        //     0
+        //   / | \
+        //  1  2  3
+        //   \ | /
+        //     4 (sink)
+        let succ = vec![vec![1, 2, 3], vec![4], vec![4], vec![4], vec![]];
+        let mut pred = vec![vec![]; 5];
+        for (u, ss) in succ.iter().enumerate() {
+            for &v in ss {
+                pred[v].push(u);
+            }
+        }
+        let dag = SetDag { succ, pred };
+        let (sinks, stats) = trace(&dag, &vec![0, 1, 2, 3, 4]);
+        assert_eq!(sinks, vec![4]);
+        assert_eq!(stats.output, 1);
+    }
+
+    #[test]
+    fn batch_tracing_matches_individual_traces() {
+        let dag = SetDag::diamond();
+        let elements = vec![
+            vec![0, 1, 2, 3, 4],
+            vec![0, 2, 4],
+            vec![0, 1, 3],
+            vec![1, 2],
+        ];
+        let batch = trace_collect(&dag, &elements);
+        for (x, got) in elements.iter().zip(batch.iter()) {
+            let (mut expected, _) = trace(&dag, x);
+            expected.sort_unstable();
+            let mut got = got.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn stats_reads_exceed_outputs() {
+        let dag = SetDag::diamond();
+        let (_, stats) = trace(&dag, &vec![0, 1, 2, 3, 4]);
+        assert!(stats.tests >= stats.output);
+        assert!(stats.visited <= stats.tests);
+    }
+}

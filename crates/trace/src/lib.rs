@@ -1,0 +1,31 @@
+//! # pwe-trace — DAG tracing and prefix doubling
+//!
+//! Section 3 of the paper introduces two techniques that together turn
+//! randomized incremental algorithms into parallel *write-efficient* ones:
+//!
+//! * **DAG tracing** (Definition 3.1, Theorem 3.1): given a history DAG `G`,
+//!   a root `r`, and a visibility predicate `f(x, v)` with the *traceable
+//!   property* (a vertex is visible only if one of its direct predecessors
+//!   is), find all visible sinks of `G` for an element `x` using
+//!   `O(|R(G,x)|)` reads but only `O(|S(G,x)|)` writes.  The trick that
+//!   avoids marking visited vertices is the *highest-priority-predecessor
+//!   rule*: a vertex is traversed only from its highest-priority visible
+//!   direct predecessor, which each traversal step can check locally because
+//!   in-degrees are constant.
+//! * **Prefix doubling** (Section 3.2): run an initial round on a small
+//!   prefix with the standard (write-inefficient) algorithm, then
+//!   `O(log log n)` incremental rounds that double the number of inserted
+//!   objects, using DAG tracing to locate each new object's conflicts
+//!   against the structure built so far.
+//!
+//! The concrete DAGs live in the algorithm crates (the BST built so far for
+//! the incremental sort, the triangle tracing structure for Delaunay, the
+//! partial k-d tree for the p-batched construction); this crate holds the
+//! generic engine and the round schedule so that each algorithm states only
+//! its visibility predicate and its structure.
+
+pub mod dag;
+pub mod prefix;
+
+pub use dag::{trace, trace_collect, TraceDag, TraceStats};
+pub use prefix::{prefix_doubling_rounds, PrefixRound, PrefixSchedule};

@@ -1,0 +1,186 @@
+//! The prefix-doubling round schedule (Section 3.2).
+//!
+//! The paper's variant: an *initial round* processes the first
+//! `n / log^c n` objects with the standard (write-inefficient) algorithm,
+//! then `O(log log n)` *incremental rounds* follow, the `i`-th processing the
+//! next `2^{i-1} · n / log^c n` objects, so the number of objects inserted in
+//! a round equals the number already present.  The incremental rounds use the
+//! DAG tracing algorithm against the structure built by the previous rounds,
+//! which is what brings the total number of writes down to `O(n)`.
+
+/// One round of a prefix-doubling schedule: process `objects[start..end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixRound {
+    /// Round index; `0` is the initial (write-inefficient) round.
+    pub index: usize,
+    /// Start of the half-open range of object positions for this round.
+    pub start: usize,
+    /// End of the half-open range of object positions for this round.
+    pub end: usize,
+}
+
+impl PrefixRound {
+    /// Number of objects processed in this round.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether this round processes no objects.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this is the initial round.
+    pub fn is_initial(&self) -> bool {
+        self.index == 0
+    }
+}
+
+/// A full prefix-doubling schedule over `n` objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSchedule {
+    rounds: Vec<PrefixRound>,
+    n: usize,
+}
+
+impl PrefixSchedule {
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[PrefixRound] {
+        &self.rounds
+    }
+
+    /// The total number of objects covered (exactly `n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of incremental (non-initial) rounds.
+    pub fn incremental_rounds(&self) -> usize {
+        self.rounds.len().saturating_sub(1)
+    }
+}
+
+/// Build the paper's prefix-doubling schedule for `n` objects with an initial
+/// round of roughly `n / (log₂ n)^log_power` objects.
+///
+/// * `log_power = 1` is the schedule used by the k-d tree construction;
+/// * `log_power = 2` is the schedule used by the incremental sort and the
+///   write-efficient Delaunay triangulation.
+///
+/// Every object position in `0..n` is covered by exactly one round, the
+/// size of each incremental round equals the total number of objects already
+/// processed (capped at the end), and the number of incremental rounds is
+/// `O(log log n)` in the log_power = 1/2 regimes (⌈log₂ log₂ⁱ n⌉ + O(1)).
+pub fn prefix_doubling_rounds(n: usize, log_power: u32) -> PrefixSchedule {
+    if n == 0 {
+        return PrefixSchedule {
+            rounds: Vec::new(),
+            n,
+        };
+    }
+    let log_n = (usize::BITS - n.leading_zeros()) as usize; // ⌈log2(n+1)⌉ ≥ 1
+    let divisor = log_n.pow(log_power).max(1);
+    let initial = (n / divisor).max(1).min(n);
+
+    let mut rounds = Vec::new();
+    rounds.push(PrefixRound {
+        index: 0,
+        start: 0,
+        end: initial,
+    });
+    let mut done = initial;
+    let mut index = 1;
+    while done < n {
+        let take = done.min(n - done); // double: insert as many as already present
+        rounds.push(PrefixRound {
+            index,
+            start: done,
+            end: done + take,
+        });
+        done += take;
+        index += 1;
+    }
+    PrefixSchedule { rounds, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_covers_everything_exactly_once() {
+        for &n in &[1usize, 2, 3, 10, 100, 1023, 1024, 1025, 1_000_000] {
+            for power in 1..=2 {
+                let s = prefix_doubling_rounds(n, power);
+                assert_eq!(s.n(), n);
+                let mut expected_start = 0;
+                for (i, r) in s.rounds().iter().enumerate() {
+                    assert_eq!(r.index, i);
+                    assert_eq!(r.start, expected_start);
+                    assert!(r.end > r.start);
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, n);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rounds_double() {
+        let s = prefix_doubling_rounds(1 << 20, 2);
+        let rounds = s.rounds();
+        // Every incremental round except possibly the last doubles the prefix.
+        for w in rounds.windows(2) {
+            let before = w[1].start;
+            let this = w[1].len();
+            assert!(this <= before, "round larger than existing prefix");
+            if w[1].end < s.n() {
+                assert_eq!(this, before, "non-final round must exactly double");
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_loglog_ish() {
+        let s1 = prefix_doubling_rounds(1 << 10, 2);
+        let s2 = prefix_doubling_rounds(1 << 20, 2);
+        let s3 = prefix_doubling_rounds(1 << 24, 2);
+        // log log n grows very slowly; the number of incremental rounds should
+        // stay small and grow by at most a few between these sizes.
+        assert!(s1.incremental_rounds() <= 12);
+        assert!(s2.incremental_rounds() <= 14);
+        assert!(s3.incremental_rounds() <= 15);
+        assert!(s3.incremental_rounds() >= s1.incremental_rounds());
+    }
+
+    #[test]
+    fn zero_and_tiny_inputs() {
+        assert!(prefix_doubling_rounds(0, 2).rounds().is_empty());
+        let s = prefix_doubling_rounds(1, 2);
+        assert_eq!(s.rounds().len(), 1);
+        assert_eq!(s.rounds()[0].len(), 1);
+        assert!(s.rounds()[0].is_initial());
+        let s = prefix_doubling_rounds(2, 2);
+        assert_eq!(s.rounds().iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedule_partitions_range(n in 0usize..200_000, power in 1u32..3) {
+            let s = prefix_doubling_rounds(n, power);
+            let total: usize = s.rounds().iter().map(|r| r.len()).sum();
+            prop_assert_eq!(total, n);
+            // Rounds are contiguous and ordered.
+            let mut pos = 0;
+            for r in s.rounds() {
+                prop_assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            // Each incremental round is no larger than the prefix before it.
+            for r in s.rounds().iter().skip(1) {
+                prop_assert!(r.len() <= r.start);
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Sweep the read/write asymmetry ω over the paper's projected range (1–40)
+//! and report how much ω-weighted work each write-efficient algorithm saves
+//! over its baseline — the headline "who wins and by how much" picture.
+//!
+//! Run with `cargo run --release -p pwe --example nvm_asymmetry_sweep`.
+
+use pwe::prelude::*;
+use pwe_geom::generators::{uniform_grid_points, uniform_points_2d};
+use pwe_kdtree::build::recommended_p;
+
+fn main() {
+    let n_sort = 100_000;
+    let n_dt = 8_000;
+    let n_kd = 50_000;
+
+    let keys: Vec<u64> = (0..n_sort as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let (_, sort_base) = measure(Omega::symmetric(), || merge_sort_baseline(&keys));
+    let (_, sort_we) = measure(Omega::symmetric(), || incremental_sort(&keys, 1));
+
+    let pts = uniform_grid_points(n_dt, 1 << 19, 2);
+    let (_, dt_base) = measure(Omega::symmetric(), || triangulate_baseline(&pts, 2));
+    let (_, dt_we) = measure(Omega::symmetric(), || triangulate_write_efficient(&pts, 2));
+
+    let kd_pts = uniform_points_2d(n_kd, 3);
+    let (_, kd_base) = measure(Omega::symmetric(), || build_classic(&kd_pts, 16));
+    let (_, kd_we) = measure(Omega::symmetric(), || {
+        build_p_batched(&kd_pts, recommended_p(n_kd), 16, 3)
+    });
+
+    println!("work(baseline) / work(write-efficient) as ω grows:");
+    println!("{:>6} {:>12} {:>12} {:>12}", "ω", "sort", "delaunay", "kdtree");
+    for omega in [1u64, 5, 10, 20, 40] {
+        let omega = Omega::new(omega);
+        let ratio = |base: &CostReport, we: &CostReport| {
+            base.with_omega(omega).work() as f64 / we.with_omega(omega).work() as f64
+        };
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>12.2}",
+            omega.get(),
+            ratio(&sort_base, &sort_we),
+            ratio(&dt_base, &dt_we),
+            ratio(&kd_base, &kd_we),
+        );
+    }
+}

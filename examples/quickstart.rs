@@ -1,0 +1,43 @@
+//! Quickstart: sort, triangulate and build a k-d tree while watching the
+//! read/write counters of the Asymmetric NP model.
+//!
+//! Run with `cargo run --release -p pwe --example quickstart`.
+
+use pwe::prelude::*;
+use pwe_geom::generators::{uniform_grid_points, uniform_points_2d};
+
+fn main() {
+    let omega = Omega::new(10);
+    println!("Asymmetric NP model with {omega}: a write costs 10 reads.\n");
+
+    // 1. Write-efficient comparison sort (Theorem 4.1).
+    let keys: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let (sorted, cost) = measure(omega, || incremental_sort(&keys, 1));
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    println!("incremental sort   : {cost}");
+    let (_, cost) = measure(omega, || merge_sort_baseline(&keys));
+    println!("merge-sort baseline: {cost}\n");
+
+    // 2. Write-efficient planar Delaunay triangulation (Theorem 5.1).
+    let points = uniform_grid_points(20_000, 1 << 20, 7);
+    let (mesh, cost) = measure(omega, || triangulate_write_efficient(&points, 7));
+    println!(
+        "Delaunay (write-efficient): {} real triangles, {cost}",
+        mesh.real_triangles().len()
+    );
+
+    // 3. Write-efficient k-d tree construction (Theorem 6.1) and a query.
+    let pts = uniform_points_2d(100_000, 3);
+    let p = pwe::kdtree::build::recommended_p(pts.len());
+    let ((tree, stats), cost) = measure(omega, || build_p_batched(&pts, p, 16, 3));
+    println!(
+        "k-d tree (p-batched, p={p}): height {}, {} nodes, {cost}",
+        stats.height,
+        stats.nodes
+    );
+    let query = pwe_geom::bbox::BBoxK::new([0.4, 0.4], [0.6, 0.6]);
+    println!(
+        "  points in [0.4,0.6]^2: {}",
+        tree.range_query(&query).len()
+    );
+}

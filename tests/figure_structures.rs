@@ -1,0 +1,71 @@
+//! Tests pinned to the paper's three illustrative figures: they exercise the
+//! structures the figures depict (the Delaunay tracing structure, one
+//! p-batched round, α-labeling rebalancing).
+
+use pwe::prelude::*;
+use pwe_geom::generators::{random_intervals, uniform_grid_points, uniform_points_2d};
+use pwe_geom::interval::{stab_bruteforce, Interval};
+use pwe_trace::dag::TraceDag;
+
+/// Figure 1: the tracing structure.  Every non-root triangle has at most two
+/// parents, parents precede children, and tracing a point from the root
+/// yields exactly its alive conflict triangles.
+#[test]
+fn fig1_tracing_structure() {
+    let points = uniform_grid_points(500, 1 << 14, 61);
+    let mesh = triangulate_write_efficient(&points, 3);
+    for (idx, _tri) in mesh.triangles.iter().enumerate() {
+        let parents = mesh.predecessors(idx);
+        assert!(parents.len() <= 2, "triangle {idx} has {} parents", parents.len());
+        for p in parents {
+            assert!(p < idx, "parent {p} must be created before child {idx}");
+        }
+    }
+    // The root is the bounding triangle and has no parents.
+    assert!(mesh.predecessors(0).is_empty());
+    // Tracing reproduces the conflict sets of fresh points.
+    let extra = uniform_grid_points(50, 1 << 14, 62);
+    let mut with_extra = points.clone();
+    with_extra.extend_from_slice(&extra);
+    // (Tracing is exercised inside the write-efficient construction; here we
+    // just re-check that alive triangles returned by a trace really conflict.)
+    let probe = (mesh.points.len() - 1) as u32;
+    let (conflicts, _) = mesh.locate_conflicts(probe);
+    for t in conflicts {
+        assert!(mesh.triangle(t).alive);
+    }
+}
+
+/// Figure 2: one p-batched round.  Leaves buffer points and only overflowing
+/// leaves are settled, so with a huge p the tree stays a single leaf, while a
+/// small p produces a deep, fully settled tree.
+#[test]
+fn fig2_p_batched_round() {
+    let pts = uniform_points_2d(4_000, 71);
+    let (coarse, coarse_stats) = build_p_batched(&pts, 1 << 20, 64, 1);
+    let (fine, fine_stats) = build_p_batched(&pts, 8, 8, 1);
+    assert!(coarse_stats.settles <= fine_stats.settles);
+    assert!(coarse.height() <= fine.height());
+    coarse.check_invariants().unwrap();
+    fine.check_invariants().unwrap();
+}
+
+/// Figure 3: α-labeling rebalancing.  Repeated one-sided insertions make a
+/// critical subtree double its weight; the tree reconstructs it and queries
+/// stay exact throughout.
+#[test]
+fn fig3_alpha_rebalancing() {
+    let initial = random_intervals(256, 1000.0, 10.0, 81);
+    let mut tree = IntervalTree::build_presorted(&initial, 4);
+    let mut reference = initial.clone();
+    for i in 0..2_000u64 {
+        let left = 2000.0 + i as f64;
+        let s = Interval::new(left, left + 0.5, 100_000 + i);
+        tree.insert(&s);
+        reference.push(s);
+    }
+    assert!(tree.rebuilds > 0, "one-sided growth must trigger reconstruction");
+    for q in [5.0, 500.0, 2100.5, 3999.2, 4100.0] {
+        assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
+    }
+}
