@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn leaves_are_always_critical() {
         for alpha in [2usize, 4, 8, 16, 40] {
-            assert!(is_critical_weight(2, alpha), "leaf weight 2 must be critical for α={alpha}");
+            assert!(
+                is_critical_weight(2, alpha),
+                "leaf weight 2 must be critical for α={alpha}"
+            );
         }
     }
 
@@ -72,13 +75,20 @@ mod tests {
         let critical: Vec<usize> = (1..40).filter(|&w| is_critical_weight(w, 2)).collect();
         assert_eq!(
             critical,
-            vec![2, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 32, 33, 34, 35, 36, 37, 38, 39]
+            vec![
+                2, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+                27, 28, 29, 30, 32, 33, 34, 35, 36, 37, 38, 39
+            ]
         );
     }
 
     #[test]
     fn larger_alpha_marks_fewer_weights() {
-        let count = |alpha: usize| (2..10_000).filter(|&w| is_critical_weight(w, alpha)).count();
+        let count = |alpha: usize| {
+            (2..10_000)
+                .filter(|&w| is_critical_weight(w, alpha))
+                .count()
+        };
         assert!(count(8) < count(4));
         assert!(count(4) < count(2));
     }

@@ -165,10 +165,7 @@ impl IntervalTree {
             return EMPTY;
         }
         // Median of the 2m endpoints.
-        let mut endpoints: Vec<f64> = intervals
-            .iter()
-            .flat_map(|s| [s.left, s.right])
-            .collect();
+        let mut endpoints: Vec<f64> = intervals.iter().flat_map(|s| [s.left, s.right]).collect();
         record_reads(endpoints.len() as u64);
         endpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
         record_writes(endpoints.len() as u64); // the classic build copies per level
@@ -294,9 +291,7 @@ impl IntervalTree {
 
     fn attach_interval(&mut self, node: usize, s: &Interval) {
         record_writes(2);
-        self.nodes[node]
-            .by_left
-            .insert((f64_key(s.left), s.id), *s);
+        self.nodes[node].by_left.insert((f64_key(s.left), s.id), *s);
         self.nodes[node]
             .by_right
             .insert((f64_key(s.right), s.id), *s);
@@ -459,10 +454,10 @@ impl IntervalTree {
         }
 
         // Rebuild the topmost critical subtree that has doubled in weight.
-        if let Some(&v) = path
-            .iter()
-            .find(|&&v| self.nodes[v].critical && self.nodes[v].weight >= 2 * self.nodes[v].initial_weight.max(2))
-        {
+        if let Some(&v) = path.iter().find(|&&v| {
+            self.nodes[v].critical
+                && self.nodes[v].weight >= 2 * self.nodes[v].initial_weight.max(2)
+        }) {
             self.rebuild_subtree(v, &path);
             stats.rebuilt = true;
         }
@@ -503,9 +498,7 @@ impl IntervalTree {
         if !removed {
             return false;
         }
-        self.nodes[found]
-            .by_right
-            .remove(&(f64_key(s.right), s.id));
+        self.nodes[found].by_right.remove(&(f64_key(s.right), s.id));
         record_writes(2);
         self.len -= 1;
         self.deletions += 1;
@@ -609,9 +602,12 @@ mod tests {
     #[test]
     fn presorted_writes_fewer_than_classic() {
         let intervals = random_intervals(20_000, 1e6, 100.0, 3);
-        let (_, classic) = measure(Omega::symmetric(), || IntervalTree::build_classic(&intervals, 2));
-        let (_, presorted) =
-            measure(Omega::symmetric(), || IntervalTree::build_presorted(&intervals, 2));
+        let (_, classic) = measure(Omega::symmetric(), || {
+            IntervalTree::build_classic(&intervals, 2)
+        });
+        let (_, presorted) = measure(Omega::symmetric(), || {
+            IntervalTree::build_presorted(&intervals, 2)
+        });
         assert!(
             presorted.writes < classic.writes,
             "post-sorted construction should write less: {} vs {}",
@@ -647,7 +643,11 @@ mod tests {
         }
         assert_eq!(tree.len(), 600);
         for &q in &stabbing_queries(100, 1000.0, 7) {
-            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q), "after inserts at {q}");
+            assert_eq!(
+                tree.stab(q),
+                stab_bruteforce(&reference, q),
+                "after inserts at {q}"
+            );
         }
 
         // Delete half of them.
@@ -657,7 +657,11 @@ mod tests {
         reference.drain(..300);
         assert_eq!(tree.len(), 300);
         for &q in &stabbing_queries(100, 1000.0, 8) {
-            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q), "after deletes at {q}");
+            assert_eq!(
+                tree.stab(q),
+                stab_bruteforce(&reference, q),
+                "after deletes at {q}"
+            );
         }
         // Deleting something absent reports false.
         assert!(!tree.delete(&Interval::new(0.0, 1.0, 999_999)));
@@ -695,7 +699,10 @@ mod tests {
             tree.insert(&s);
             reference.push(s);
         }
-        assert!(tree.rebuilds > 0, "skewed insertions should trigger reconstructions");
+        assert!(
+            tree.rebuilds > 0,
+            "skewed insertions should trigger reconstructions"
+        );
         for &q in &stabbing_queries(50, 500.0, 12) {
             assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
         }
@@ -710,7 +717,7 @@ mod tests {
             queries in proptest::collection::vec(0.0f64..1000.0, 1..20),
             alpha in 2usize..10,
         ) {
-            let intervals = random_intervals(n.max(0), 1000.0, 40.0, seed);
+            let intervals = random_intervals(n, 1000.0, 40.0, seed);
             let tree = IntervalTree::build_presorted(&intervals, alpha);
             for &q in &queries {
                 prop_assert_eq!(tree.stab(q), stab_bruteforce(&intervals, q));

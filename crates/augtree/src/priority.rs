@@ -96,7 +96,8 @@ impl PrioritySearchTree {
             item.point.x()
         } else {
             let mid = n / 2;
-            points.select_nth_unstable_by(mid, |a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+            points
+                .select_nth_unstable_by(mid, |a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
             points[mid].point.x()
         };
         let (left, right): (Vec<PsPoint>, Vec<PsPoint>) =
@@ -230,7 +231,15 @@ impl PrioritySearchTree {
     /// `y ≥ y_bot`, in ascending id order.
     pub fn query_3sided(&self, x_lo: f64, x_hi: f64, y_bot: f64) -> Vec<u64> {
         let mut out = Vec::new();
-        self.query_rec(self.root, x_lo, x_hi, y_bot, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+        self.query_rec(
+            self.root,
+            x_lo,
+            x_hi,
+            y_bot,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            &mut out,
+        );
         record_writes(out.len() as u64);
         out.sort_unstable();
         out
@@ -441,7 +450,10 @@ mod tests {
         uniform_points_2d(n, seed)
             .into_iter()
             .enumerate()
-            .map(|(i, point)| PsPoint { point, id: i as u64 })
+            .map(|(i, point)| PsPoint {
+                point,
+                id: i as u64,
+            })
             .collect()
     }
 
@@ -460,9 +472,12 @@ mod tests {
     #[test]
     fn presorted_writes_fewer_than_classic() {
         let points = make_points(20_000, 3);
-        let (_, classic) = measure(Omega::symmetric(), || PrioritySearchTree::build_classic(&points));
-        let (_, presorted) =
-            measure(Omega::symmetric(), || PrioritySearchTree::build_presorted(&points));
+        let (_, classic) = measure(Omega::symmetric(), || {
+            PrioritySearchTree::build_classic(&points)
+        });
+        let (_, presorted) = measure(Omega::symmetric(), || {
+            PrioritySearchTree::build_presorted(&points)
+        });
         assert!(
             presorted.writes < classic.writes,
             "post-sorted construction should write less: {} vs {}",
@@ -485,7 +500,10 @@ mod tests {
         assert!(empty.is_empty());
         assert!(empty.query_3sided(0.0, 1.0, 0.0).is_empty());
 
-        let single = vec![PsPoint { point: Point2::xy(0.5, 0.5), id: 9 }];
+        let single = vec![PsPoint {
+            point: Point2::xy(0.5, 0.5),
+            id: 9,
+        }];
         let tree = PrioritySearchTree::build_presorted(&single);
         assert_eq!(tree.query_3sided(0.0, 1.0, 0.0), vec![9]);
         assert_eq!(tree.query_3sided(0.0, 1.0, 0.6), Vec::<u64>::new());
@@ -499,7 +517,10 @@ mod tests {
         let mut reference = initial.clone();
         // Insert 300 more.
         for (i, p) in make_points(300, 8).into_iter().enumerate() {
-            let p = PsPoint { point: p.point, id: 1000 + i as u64 };
+            let p = PsPoint {
+                point: p.point,
+                id: 1000 + i as u64,
+            };
             tree.insert(p);
             reference.push(p);
         }

@@ -320,10 +320,10 @@ impl RangeTree2D {
         }
 
         // Rebuild the topmost critical subtree that has doubled in weight.
-        if let Some(&u) = path
-            .iter()
-            .find(|&&u| self.nodes[u].critical && self.nodes[u].weight >= 2 * self.nodes[u].initial_weight.max(3))
-        {
+        if let Some(&u) = path.iter().find(|&&u| {
+            self.nodes[u].critical
+                && self.nodes[u].weight >= 2 * self.nodes[u].initial_weight.max(3)
+        }) {
             self.rebuild_subtree(u);
             stats.rebuilt = true;
         }
@@ -342,7 +342,6 @@ impl RangeTree2D {
             weight: 2,
             initial_weight: 2,
             critical: true,
-            ..Default::default()
         }
     }
 
@@ -454,7 +453,10 @@ mod tests {
         uniform_points_2d(n, seed)
             .into_iter()
             .enumerate()
-            .map(|(i, point)| RtPoint { point, id: i as u64 })
+            .map(|(i, point)| RtPoint {
+                point,
+                id: i as u64,
+            })
             .collect()
     }
 
@@ -464,7 +466,11 @@ mod tests {
         for alpha in [2usize, 4, 16] {
             let tree = RangeTree2D::build(&points, alpha);
             for rect in &random_query_rects(60, 0.3, 2) {
-                assert_eq!(tree.query(rect), range_bruteforce(&points, rect), "α={alpha}");
+                assert_eq!(
+                    tree.query(rect),
+                    range_bruteforce(&points, rect),
+                    "α={alpha}"
+                );
             }
         }
     }
@@ -489,7 +495,10 @@ mod tests {
         assert!(empty.is_empty());
         assert!(empty.query(&Rect::new(0.0, 1.0, 0.0, 1.0)).is_empty());
 
-        let single = vec![RtPoint { point: Point2::xy(0.5, 0.5), id: 3 }];
+        let single = vec![RtPoint {
+            point: Point2::xy(0.5, 0.5),
+            id: 3,
+        }];
         let tree = RangeTree2D::build(&single, 4);
         assert_eq!(tree.query(&Rect::new(0.0, 1.0, 0.0, 1.0)), vec![3]);
         assert!(tree.query(&Rect::new(0.6, 1.0, 0.0, 1.0)).is_empty());
@@ -501,7 +510,10 @@ mod tests {
         let mut tree = RangeTree2D::build(&initial, 4);
         let mut reference = initial.clone();
         for (i, p) in make_points(400, 6).into_iter().enumerate() {
-            let p = RtPoint { point: p.point, id: 10_000 + i as u64 };
+            let p = RtPoint {
+                point: p.point,
+                id: 10_000 + i as u64,
+            };
             tree.insert(p);
             reference.push(p);
         }
@@ -547,7 +559,10 @@ mod tests {
         let mut touched_dense = 0u64;
         let mut touched_sparse = 0u64;
         for (i, p) in extra.into_iter().enumerate() {
-            let p = RtPoint { point: p.point, id: 100_000 + i as u64 };
+            let p = RtPoint {
+                point: p.point,
+                id: 100_000 + i as u64,
+            };
             touched_dense += dense.insert(p).critical_touched;
             touched_sparse += sparse.insert(p).critical_touched;
         }

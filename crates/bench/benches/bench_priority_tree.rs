@@ -12,7 +12,10 @@ fn bench_priority(c: &mut Criterion) {
     let points: Vec<PsPoint> = uniform_points_2d(n, 23)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| PsPoint { point, id: i as u64 })
+        .map(|(i, point)| PsPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     group.bench_function(BenchmarkId::new("build_classic", n), |b| {
         b.iter(|| PrioritySearchTree::build_classic(&points))

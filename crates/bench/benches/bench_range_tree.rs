@@ -12,7 +12,10 @@ fn bench_range_tree(c: &mut Criterion) {
     let points: Vec<RtPoint> = uniform_points_2d(n, 31)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| RtPoint { point, id: i as u64 })
+        .map(|(i, point)| RtPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     let rects = random_query_rects(200, 0.1, 32);
     for alpha in [2usize, 8, 16] {

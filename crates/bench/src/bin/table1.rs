@@ -17,13 +17,22 @@ fn main() {
 
     println!("Table 1 reproduction — n = {n}, {omega}, α sweep = {alphas:?}");
     if tree == "all" || tree == "interval" {
-        print_table("Interval tree (1D stabbing queries)", &interval_experiment(n, &alphas, omega));
+        print_table(
+            "Interval tree (1D stabbing queries)",
+            &interval_experiment(n, &alphas, omega),
+        );
     }
     if tree == "all" || tree == "priority" {
-        print_table("Priority search tree (3-sided queries)", &priority_experiment(n, omega));
+        print_table(
+            "Priority search tree (3-sided queries)",
+            &priority_experiment(n, omega),
+        );
     }
     if tree == "all" || tree == "range" {
-        print_table("2D range tree (orthogonal range queries)", &range_tree_experiment(n, &alphas, omega));
+        print_table(
+            "2D range tree (orthogonal range queries)",
+            &range_tree_experiment(n, &alphas, omega),
+        );
     }
 }
 

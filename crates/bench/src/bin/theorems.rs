@@ -24,7 +24,10 @@ fn main() {
         }
         if exp == "all" || exp == "delaunay" {
             let n = arg_value(&args, "--n").unwrap_or(100_000).min(20_000);
-            print_table("Theorem 5.1 — planar Delaunay triangulation", &delaunay_experiment(n, *omega));
+            print_table(
+                "Theorem 5.1 — planar Delaunay triangulation",
+                &delaunay_experiment(n, *omega),
+            );
         }
         if exp == "all" || exp == "kdtree" {
             let n = arg_value(&args, "--n").unwrap_or(100_000);

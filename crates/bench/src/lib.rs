@@ -66,8 +66,16 @@ pub fn sort_experiment(n: usize, omega: Omega) -> Vec<Row> {
     let (_, merge) = measure(omega, || merge_sort_baseline(&keys));
     let (_, incr) = measure(omega, || incremental_sort(&keys, 7));
     vec![
-        Row { label: "sort/merge-sort (baseline)".into(), n, report: merge },
-        Row { label: "sort/incremental (write-efficient)".into(), n, report: incr },
+        Row {
+            label: "sort/merge-sort (baseline)".into(),
+            n,
+            report: merge,
+        },
+        Row {
+            label: "sort/incremental (write-efficient)".into(),
+            n,
+            report: incr,
+        },
     ]
 }
 
@@ -77,8 +85,16 @@ pub fn delaunay_experiment(n: usize, omega: Omega) -> Vec<Row> {
     let (_, base) = measure(omega, || triangulate_baseline(&points, 5));
     let (_, we) = measure(omega, || triangulate_write_efficient(&points, 5));
     vec![
-        Row { label: "delaunay/ParIncrementalDT (baseline)".into(), n, report: base },
-        Row { label: "delaunay/write-efficient".into(), n, report: we },
+        Row {
+            label: "delaunay/ParIncrementalDT (baseline)".into(),
+            n,
+            report: base,
+        },
+        Row {
+            label: "delaunay/write-efficient".into(),
+            n,
+            report: we,
+        },
     ]
 }
 
@@ -90,7 +106,11 @@ pub fn kdtree_experiment(n: usize, omega: Omega) -> (Vec<Row>, Vec<String>) {
     let mut notes = Vec::new();
 
     let (classic, classic_report) = measure(omega, || build_classic(&points, 16));
-    rows.push(Row { label: "kdtree/classic (baseline)".into(), n, report: classic_report });
+    rows.push(Row {
+        label: "kdtree/classic (baseline)".into(),
+        n,
+        report: classic_report,
+    });
     notes.push(format!("classic height = {}", classic.height()));
 
     let log_n = (n.max(2) as f64).log2().ceil() as usize;
@@ -101,7 +121,11 @@ pub fn kdtree_experiment(n: usize, omega: Omega) -> (Vec<Row>, Vec<String>) {
         ("p=log^3 n (paper)", recommended_p(n)),
     ] {
         let ((tree, _), report) = measure(omega, || build_p_batched(&points, p, 16, 13));
-        rows.push(Row { label: format!("kdtree/p-batched {name}"), n, report });
+        rows.push(Row {
+            label: format!("kdtree/p-batched {name}"),
+            n,
+            report,
+        });
         notes.push(format!("p-batched {name}: height = {}", tree.height()));
     }
     (rows, notes)
@@ -117,9 +141,17 @@ pub fn interval_experiment(n: usize, alphas: &[usize], omega: Omega) -> Vec<Row>
     let mut rows = Vec::new();
 
     let (_, classic) = measure(omega, || IntervalTree::build_classic(&intervals, 2));
-    rows.push(Row { label: "interval/classic construction".into(), n, report: classic });
+    rows.push(Row {
+        label: "interval/classic construction".into(),
+        n,
+        report: classic,
+    });
     let (_, presorted) = measure(omega, || IntervalTree::build_presorted(&intervals, 2));
-    rows.push(Row { label: "interval/post-sorted construction".into(), n, report: presorted });
+    rows.push(Row {
+        label: "interval/post-sorted construction".into(),
+        n,
+        report: presorted,
+    });
 
     for &alpha in alphas {
         let mut tree = IntervalTree::build_presorted(&intervals, alpha);
@@ -156,15 +188,26 @@ pub fn priority_experiment(n: usize, omega: Omega) -> Vec<Row> {
     let points: Vec<PsPoint> = uniform_points_2d(n, 23)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| PsPoint { point, id: i as u64 })
+        .map(|(i, point)| PsPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     let queries = random_three_sided_queries(1000, 0.2, 24);
     let mut rows = Vec::new();
 
     let (_, classic) = measure(omega, || PrioritySearchTree::build_classic(&points));
-    rows.push(Row { label: "priority/classic construction".into(), n, report: classic });
+    rows.push(Row {
+        label: "priority/classic construction".into(),
+        n,
+        report: classic,
+    });
     let (tree, presorted) = measure(omega, || PrioritySearchTree::build_presorted(&points));
-    rows.push(Row { label: "priority/post-sorted construction".into(), n, report: presorted });
+    rows.push(Row {
+        label: "priority/post-sorted construction".into(),
+        n,
+        report: presorted,
+    });
 
     let (_, query_cost) = measure(omega, || {
         let mut total = 0usize;
@@ -183,7 +226,10 @@ pub fn priority_experiment(n: usize, omega: Omega) -> Vec<Row> {
     let extra: Vec<PsPoint> = uniform_points_2d(n / 10, 25)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| PsPoint { point, id: (n + i) as u64 })
+        .map(|(i, point)| PsPoint {
+            point,
+            id: (n + i) as u64,
+        })
         .collect();
     let (_, update_cost) = measure(omega, || {
         for p in &extra {
@@ -204,20 +250,29 @@ pub fn range_tree_experiment(n: usize, alphas: &[usize], omega: Omega) -> Vec<Ro
     let points: Vec<RtPoint> = uniform_points_2d(n, 31)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| RtPoint { point, id: i as u64 })
+        .map(|(i, point)| RtPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     let rects = random_query_rects(500, 0.1, 32);
     let extra: Vec<RtPoint> = uniform_points_2d(n / 10, 33)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| RtPoint { point, id: (n + i) as u64 })
+        .map(|(i, point)| RtPoint {
+            point,
+            id: (n + i) as u64,
+        })
         .collect();
     let mut rows = Vec::new();
 
     for &alpha in alphas {
         let (tree, construct) = measure(omega, || RangeTree2D::build(&points, alpha));
         rows.push(Row {
-            label: format!("range-tree/α={alpha} construction (aug size {})", tree.augmentation_size()),
+            label: format!(
+                "range-tree/α={alpha} construction (aug size {})",
+                tree.augmentation_size()
+            ),
             n,
             report: construct,
         });

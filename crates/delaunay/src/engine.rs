@@ -89,7 +89,10 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
             .copied()
             .filter(|p| !blocked.contains(p))
             .collect();
-        debug_assert!(!candidates.is_empty(), "at least the global minimum survives");
+        debug_assert!(
+            !candidates.is_empty(),
+            "at least the global minimum survives"
+        );
 
         // Step 2: gather each candidate's cavity and apply the neighbour
         // condition of Algorithm 2 (line 7): a point may only be inserted if
@@ -247,8 +250,7 @@ mod tests {
         let points = uniform_grid_points(120, 1 << 12, 11);
         // All at once.
         let mut mesh_a = TriMesh::new(&points);
-        let conflicts: Vec<(u32, u32)> =
-            (3..mesh_a.points.len() as u32).map(|p| (0, p)).collect();
+        let conflicts: Vec<(u32, u32)> = (3..mesh_a.points.len() as u32).map(|p| (0, p)).collect();
         insert_batch(&mut mesh_a, conflicts);
 
         // In two batches, locating the second batch by tracing.

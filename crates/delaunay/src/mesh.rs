@@ -94,7 +94,7 @@ impl TriMesh {
             min_y = min_y.min(p.y);
             max_y = max_y.max(p.y);
         }
-        let span = ((max_x - min_x).max(max_y - min_y).max(1)) as i64;
+        let span = (max_x - min_x).max(max_y - min_y).max(1);
         let cx = (min_x + max_x) / 2;
         let cy = (min_y + max_y) / 2;
         // A triangle ~16 spans across, comfortably inside the exact-arithmetic
@@ -269,7 +269,10 @@ impl TriMesh {
     /// path followed (the depth contribution of this trace).
     pub fn locate_conflicts(&self, p: u32) -> (Vec<u32>, u64) {
         let (sinks, stats) = pwe_trace::dag::trace(self, &p);
-        (sinks.into_iter().map(|v| v as u32).collect(), stats.max_path)
+        (
+            sinks.into_iter().map(|v| v as u32).collect(),
+            stats.max_path,
+        )
     }
 
     /// Read a triangle (no cost bookkeeping; use [`Self::encroaches`] and the
@@ -296,7 +299,11 @@ impl TraceDag for TriMesh {
     }
 
     fn successors(&self, v: usize) -> Vec<usize> {
-        self.triangles[v].children.iter().map(|&c| c as usize).collect()
+        self.triangles[v]
+            .children
+            .iter()
+            .map(|&c| c as usize)
+            .collect()
     }
 
     fn predecessors(&self, v: usize) -> Vec<usize> {

@@ -84,10 +84,7 @@ pub fn triangulate_write_efficient_with_stats(
                 .flat_map(|(p, tris)| tris.into_iter().map(move |t| (t, p)))
                 .collect();
             let grouped = semisort_by_key(&pairs, |(t, _)| *t);
-            grouped
-                .into_iter()
-                .flat_map(|g| g.items)
-                .collect()
+            grouped.into_iter().flat_map(|g| g.items).collect()
         };
 
         let round_stats = insert_batch(&mut mesh, conflicts);

@@ -17,9 +17,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
+use crate::bbox::Rect;
 use crate::interval::Interval;
 use crate::point::{GridPoint, Point2, PointK, GRID_LIMIT};
-use crate::bbox::Rect;
 
 /// Default half-width of the generated grid point square.  Much smaller than
 /// [`GRID_LIMIT`] so that the bounding triangle the Delaunay algorithm adds
@@ -74,7 +74,10 @@ pub fn clustered_grid_points(n: usize, clusters: usize, span: i64, seed: u64) ->
 /// `n` distinct grid points near a circle of radius `radius` — the
 /// degenerate-ish workload where Delaunay triangles become skinny.
 pub fn circle_grid_points(n: usize, radius: i64, seed: u64) -> Vec<GridPoint> {
-    assert!(radius > 0 && radius <= GRID_LIMIT / 4, "radius out of range");
+    assert!(
+        radius > 0 && radius <= GRID_LIMIT / 4,
+        "radius out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = HashSet::with_capacity(n * 2);
     let mut pts = Vec::with_capacity(n);
@@ -197,7 +200,9 @@ mod tests {
         assert_eq!(pts.len(), 5000);
         let set: HashSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
         assert_eq!(set.len(), 5000);
-        assert!(pts.iter().all(|p| p.x.abs() <= 1 << 16 && p.y.abs() <= 1 << 16));
+        assert!(pts
+            .iter()
+            .all(|p| p.x.abs() <= 1 << 16 && p.y.abs() <= 1 << 16));
         // Deterministic in the seed.
         assert_eq!(pts, uniform_grid_points(5000, 1 << 16, 1));
         assert_ne!(pts, uniform_grid_points(5000, 1 << 16, 2));
@@ -218,7 +223,10 @@ mod tests {
         assert_eq!(pts.len(), 1000);
         for p in &pts {
             let r = ((p.x * p.x + p.y * p.y) as f64).sqrt();
-            assert!((r / radius as f64 - 1.0).abs() < 0.05, "point too far from circle");
+            assert!(
+                (r / radius as f64 - 1.0).abs() < 0.05,
+                "point too far from circle"
+            );
         }
     }
 
@@ -239,7 +247,9 @@ mod tests {
     fn intervals_and_queries_are_well_formed() {
         let ivs = random_intervals(500, 100.0, 5.0, 13);
         assert_eq!(ivs.len(), 500);
-        assert!(ivs.iter().all(|s| s.left <= s.right && s.right - s.left <= 5.0));
+        assert!(ivs
+            .iter()
+            .all(|s| s.left <= s.right && s.right - s.left <= 5.0));
         // ids are unique
         let ids: HashSet<u64> = ivs.iter().map(|s| s.id).collect();
         assert_eq!(ids.len(), 500);
@@ -248,9 +258,13 @@ mod tests {
         assert!(qs.iter().all(|&x| (0.0..100.0).contains(&x)));
 
         let rects = random_query_rects(50, 0.2, 19);
-        assert!(rects.iter().all(|r| r.x_min >= 0.0 && r.x_max <= 1.0 && r.y_min >= 0.0 && r.y_max <= 1.0));
+        assert!(rects
+            .iter()
+            .all(|r| r.x_min >= 0.0 && r.x_max <= 1.0 && r.y_min >= 0.0 && r.y_max <= 1.0));
 
         let three = random_three_sided_queries(50, 0.3, 23);
-        assert!(three.iter().all(|&(lo, hi, y)| lo < hi && (0.0..1.0).contains(&y)));
+        assert!(three
+            .iter()
+            .all(|&(lo, hi, y)| lo < hi && (0.0..1.0).contains(&y)));
     }
 }

@@ -21,7 +21,10 @@ pub struct Interval {
 impl Interval {
     /// Construct an interval; panics (debug) if `left > right`.
     pub fn new(left: f64, right: f64, id: u64) -> Self {
-        debug_assert!(left <= right, "interval endpoints inverted: {left} > {right}");
+        debug_assert!(
+            left <= right,
+            "interval endpoints inverted: {left} > {right}"
+        );
         Interval { left, right, id }
     }
 

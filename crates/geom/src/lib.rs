@@ -23,5 +23,5 @@ pub mod predicates;
 
 pub use bbox::{BBoxK, Rect};
 pub use interval::Interval;
-pub use point::{GridPoint, PointK, Point2};
+pub use point::{GridPoint, Point2, PointK};
 pub use predicates::{in_circle, orient2d, Orientation};

@@ -105,7 +105,11 @@ pub fn general_position(a: GridPoint, b: GridPoint, c: GridPoint, d: GridPoint) 
         return false;
     }
     // Cocircularity is orientation-independent up to sign; use a CCW copy.
-    let (aa, bb, cc) = if is_ccw(a, b, c) { (a, b, c) } else { (a, c, b) };
+    let (aa, bb, cc) = if is_ccw(a, b, c) {
+        (a, b, c)
+    } else {
+        (a, c, b)
+    };
     in_circle_det(aa, bb, cc, d) != 0
 }
 
@@ -121,7 +125,10 @@ mod tests {
 
     #[test]
     fn orientation_basic() {
-        assert_eq!(orient2d(p(0, 0), p(1, 0), p(0, 1)), Orientation::CounterClockwise);
+        assert_eq!(
+            orient2d(p(0, 0), p(1, 0), p(0, 1)),
+            Orientation::CounterClockwise
+        );
         assert_eq!(orient2d(p(0, 0), p(0, 1), p(1, 0)), Orientation::Clockwise);
         assert_eq!(orient2d(p(0, 0), p(1, 1), p(2, 2)), Orientation::Collinear);
         assert!(is_ccw(p(0, 0), p(5, 0), p(0, 5)));

@@ -106,8 +106,24 @@ fn build_rec<const K: usize>(
     }
     let (left_idxs, right_idxs) = idxs.split_at_mut(mid);
     let ((left_nodes, left_root), (right_nodes, right_root)) = par_join(
-        || build_rec(points, left_idxs, depth_level + 1, leaf_capacity, charge_full_writes),
-        || build_rec(points, right_idxs, depth_level + 1, leaf_capacity, charge_full_writes),
+        || {
+            build_rec(
+                points,
+                left_idxs,
+                depth_level + 1,
+                leaf_capacity,
+                charge_full_writes,
+            )
+        },
+        || {
+            build_rec(
+                points,
+                right_idxs,
+                depth_level + 1,
+                leaf_capacity,
+                charge_full_writes,
+            )
+        },
     );
 
     // Merge the two locally-indexed arenas under a fresh parent.
@@ -304,8 +320,24 @@ fn settle_overflowing<const K: usize>(
     record_writes(2);
     settle_depth.record(1 + depth_level as u64);
 
-    settle_overflowing(tree, points, left_idx, p, depth_level + 1, stats, settle_depth);
-    settle_overflowing(tree, points, right_idx, p, depth_level + 1, stats, settle_depth);
+    settle_overflowing(
+        tree,
+        points,
+        left_idx,
+        p,
+        depth_level + 1,
+        stats,
+        settle_depth,
+    );
+    settle_overflowing(
+        tree,
+        points,
+        right_idx,
+        p,
+        depth_level + 1,
+        stats,
+        settle_depth,
+    );
 }
 
 /// Replace leaf `leaf` with a locally-built subtree (arena `nodes`, root

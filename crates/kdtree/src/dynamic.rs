@@ -33,11 +33,21 @@ pub enum RebuildStrategy {
     PBatched,
 }
 
-fn rebuild<const K: usize>(points: &[PointK<K>], strategy: RebuildStrategy, seed: u64) -> KdTree<K> {
+fn rebuild<const K: usize>(
+    points: &[PointK<K>],
+    strategy: RebuildStrategy,
+    seed: u64,
+) -> KdTree<K> {
     match strategy {
         RebuildStrategy::Classic => build_classic(points, DEFAULT_LEAF_CAPACITY),
         RebuildStrategy::PBatched => {
-            build_p_batched(points, recommended_p(points.len().max(16)), DEFAULT_LEAF_CAPACITY, seed).0
+            build_p_batched(
+                points,
+                recommended_p(points.len().max(16)),
+                DEFAULT_LEAF_CAPACITY,
+                seed,
+            )
+            .0
         }
     }
 }
@@ -231,7 +241,7 @@ impl<const K: usize> LogarithmicKdForest<K> {
                 }
                 let p = slot.tree.points()[idx as usize];
                 let d = p.dist2(q);
-                if best.as_ref().map_or(true, |(_, _, bd)| d < *bd) {
+                if best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
                     best = Some((id, p, d));
                 }
                 break;
@@ -529,7 +539,7 @@ impl<const K: usize> DynamicKdTree<K> {
                 continue;
             }
             let d = p.dist2(q);
-            if best.as_ref().map_or(true, |(_, _, bd)| d < *bd) {
+            if best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
                 best = Some((self.ids[i], *p, d));
             }
         }
@@ -544,10 +554,7 @@ mod tests {
     use rand::Rng;
     use rand::SeedableRng;
 
-    fn brute_range(
-        points: &[(u64, PointK<2>)],
-        query: &BBoxK<2>,
-    ) -> Vec<u64> {
+    fn brute_range(points: &[(u64, PointK<2>)], query: &BBoxK<2>) -> Vec<u64> {
         let mut ids: Vec<u64> = points
             .iter()
             .filter(|(_, p)| query.contains(p))
@@ -571,7 +578,11 @@ mod tests {
         assert!(forest.tree_count() <= 10);
 
         let query = BBoxK::new([0.2, 0.2], [0.6, 0.5]);
-        let mut got: Vec<u64> = forest.range_query(&query).iter().map(|(id, _)| *id).collect();
+        let mut got: Vec<u64> = forest
+            .range_query(&query)
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, brute_range(&reference, &query));
     }
@@ -593,7 +604,11 @@ mod tests {
             .map(|(&id, &p)| (id, p))
             .collect();
         let query = BBoxK::new([0.0, 0.0], [1.0, 1.0]);
-        let mut got: Vec<u64> = forest.range_query(&query).iter().map(|(id, _)| *id).collect();
+        let mut got: Vec<u64> = forest
+            .range_query(&query)
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, brute_range(&live, &query));
     }
@@ -624,7 +639,10 @@ mod tests {
             let id = dyn_tree.insert(p);
             reference.push((id, p));
         }
-        assert!(dyn_tree.rebuilds > 0, "skewed insertions should trigger rebuilds");
+        assert!(
+            dyn_tree.rebuilds > 0,
+            "skewed insertions should trigger rebuilds"
+        );
         assert_eq!(dyn_tree.len(), 800);
         // Height must stay logarithmic-ish despite the skew.
         assert!(
@@ -634,7 +652,11 @@ mod tests {
         );
 
         let query = BBoxK::new([0.0, 0.0], [0.15, 0.15]);
-        let mut got: Vec<u64> = dyn_tree.range_query(&query).iter().map(|(id, _)| *id).collect();
+        let mut got: Vec<u64> = dyn_tree
+            .range_query(&query)
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, brute_range(&reference, &query));
 

@@ -237,7 +237,7 @@ impl<const K: usize> KdTree<K> {
             for &pi in &node.bucket {
                 record_read();
                 let d2 = self.points[pi as usize].dist2(q);
-                if best.map_or(true, |(_, b)| d2 < b) {
+                if best.is_none_or(|(_, b)| d2 < b) {
                     *best = Some((pi, d2));
                 }
             }
@@ -276,12 +276,7 @@ impl<const K: usize> KdTree<K> {
         Ok(())
     }
 
-    fn check_rec(
-        &self,
-        v: usize,
-        region: &BBoxK<K>,
-        seen: &mut [bool],
-    ) -> Result<usize, String> {
+    fn check_rec(&self, v: usize, region: &BBoxK<K>, seen: &mut [bool]) -> Result<usize, String> {
         let node = &self.nodes[v];
         if node.is_leaf() {
             for &pi in &node.bucket {
@@ -387,10 +382,7 @@ mod tests {
         ];
         let q = BBoxK::new([0.5, 0.5], [2.5, 2.5]);
         assert_eq!(range_bruteforce(&pts, &q), vec![1, 2]);
-        assert_eq!(
-            nearest_bruteforce(&pts, &PointK::new([1.9, 1.9])),
-            Some(2)
-        );
+        assert_eq!(nearest_bruteforce(&pts, &PointK::new([1.9, 1.9])), Some(2));
         assert_eq!(nearest_bruteforce::<2>(&[], &PointK::new([0.0, 0.0])), None);
     }
 }

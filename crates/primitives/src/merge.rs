@@ -219,10 +219,10 @@ mod tests {
             let lo = lower_bound(&v, &x, &lt);
             let hi = upper_bound(&v, &x, &lt);
             prop_assert!(lo <= hi);
-            for i in 0..v.len() {
-                if i < lo { prop_assert!(v[i] < x); }
-                else if i < hi { prop_assert_eq!(v[i], x); }
-                else { prop_assert!(v[i] > x); }
+            for (i, &item) in v.iter().enumerate() {
+                if i < lo { prop_assert!(item < x); }
+                else if i < hi { prop_assert_eq!(item, x); }
+                else { prop_assert!(item > x); }
             }
         }
     }

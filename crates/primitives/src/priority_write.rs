@@ -168,7 +168,10 @@ mod tests {
             .map(|i| usize::from(cell.write_min(i ^ 0x2a)))
             .sum();
         assert!(wins >= 1);
-        assert_eq!(cell.load_untracked(), (0..1000u64).map(|i| i ^ 0x2a).min().unwrap());
+        assert_eq!(
+            cell.load_untracked(),
+            (0..1000u64).map(|i| i ^ 0x2a).min().unwrap()
+        );
     }
 
     #[test]

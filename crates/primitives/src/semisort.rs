@@ -161,11 +161,7 @@ mod tests {
         grouped.sort_by_key(|(k, _)| *k);
         assert_eq!(
             grouped,
-            vec![
-                ('a', vec![0, 2, 5]),
-                ('b', vec![1, 4]),
-                ('c', vec![3]),
-            ]
+            vec![('a', vec![0, 2, 5]), ('b', vec![1, 4]), ('c', vec![3]),]
         );
     }
 

@@ -208,12 +208,7 @@ impl<K: Ord + Copy> Bst<K> {
 
     /// Verify the BST ordering invariant (diagnostic; not cost-charged).
     pub fn check_invariant(&self) -> bool {
-        fn rec<K: Ord + Copy>(
-            nodes: &[Node<K>],
-            v: usize,
-            lo: Option<K>,
-            hi: Option<K>,
-        ) -> bool {
+        fn rec<K: Ord + Copy>(nodes: &[Node<K>], v: usize, lo: Option<K>, hi: Option<K>) -> bool {
             if v == EMPTY {
                 return true;
             }
@@ -298,7 +293,11 @@ mod tests {
             t.insert(k);
         }
         // Expected height ≈ 4.3 log2 n ≈ 57 for n = 10^4; assert a loose cap.
-        assert!(t.height() < 80, "height {} too large for random order", t.height());
+        assert!(
+            t.height() < 80,
+            "height {} too large for random order",
+            t.height()
+        );
         assert!(t.check_invariant());
     }
 

@@ -235,7 +235,10 @@ mod tests {
         let mut expected = keys.clone();
         expected.sort_unstable();
         assert_eq!(sorted, expected);
-        assert!(stats.rounds >= 2, "expected multiple prefix-doubling rounds");
+        assert!(
+            stats.rounds >= 2,
+            "expected multiple prefix-doubling rounds"
+        );
         // Random BST height is ~4.3 log2(n) in expectation; allow slack.
         assert!(
             stats.tree_height < 120,
@@ -282,7 +285,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let keys: Vec<u32> = (0u32..5000).map(|i| i.wrapping_mul(2_654_435_761) >> 7).collect();
+        let keys: Vec<u32> = (0u32..5000)
+            .map(|i| i.wrapping_mul(2_654_435_761) >> 7)
+            .collect();
         assert_eq!(incremental_sort(&keys, 9), incremental_sort(&keys, 9));
     }
 

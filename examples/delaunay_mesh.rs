@@ -13,16 +13,23 @@ fn main() {
     let points = clustered_grid_points(n, 8, 1 << 19, 11);
 
     let (baseline, base_cost) = measure(Omega::symmetric(), || triangulate_baseline(&points, 3));
-    let (wefficient, we_cost) =
-        measure(Omega::symmetric(), || triangulate_write_efficient(&points, 3));
+    let (wefficient, we_cost) = measure(Omega::symmetric(), || {
+        triangulate_write_efficient(&points, 3)
+    });
 
     check_mesh_consistency(&baseline).expect("baseline mesh consistent");
     check_mesh_consistency(&wefficient).expect("write-efficient mesh consistent");
     check_delaunay_property(&wefficient, Some(200)).expect("Delaunay property (sampled)");
 
     println!("n = {n} clustered points");
-    println!("baseline        : {} triangles, {base_cost}", baseline.real_triangles().len());
-    println!("write-efficient : {} triangles, {we_cost}", wefficient.real_triangles().len());
+    println!(
+        "baseline        : {} triangles, {base_cost}",
+        baseline.real_triangles().len()
+    );
+    println!(
+        "write-efficient : {} triangles, {we_cost}",
+        wefficient.real_triangles().len()
+    );
     println!(
         "write reduction : {:.2}x fewer writes",
         base_cost.writes as f64 / we_cost.writes.max(1) as f64
@@ -31,6 +38,9 @@ fn main() {
     for omega in Omega::paper_sweep() {
         let b = base_cost.with_omega(omega).work();
         let w = we_cost.with_omega(omega).work();
-        println!("  {omega:>5}: baseline {b:>14}  write-efficient {w:>14}  ({:.2}x)", b as f64 / w as f64);
+        println!(
+            "  {omega:>5}: baseline {b:>14}  write-efficient {w:>14}  ({:.2}x)",
+            b as f64 / w as f64
+        );
     }
 }

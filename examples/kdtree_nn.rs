@@ -25,7 +25,11 @@ fn main() {
             tree.insert(PointK::new([0.05 * t, 0.05 * (1.0 - t)]));
         }
     });
-    println!("20k skewed insertions: {cost} ({} rebuilds, height {})", tree.rebuilds, tree.height());
+    println!(
+        "20k skewed insertions: {cost} ({} rebuilds, height {})",
+        tree.rebuilds,
+        tree.height()
+    );
 
     let q = PointK::new([0.02, 0.02]);
     let (nn, cost) = measure(Omega::new(10), || tree.nearest(&q));

@@ -13,7 +13,9 @@ fn main() {
     let n_dt = 8_000;
     let n_kd = 50_000;
 
-    let keys: Vec<u64> = (0..n_sort as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let keys: Vec<u64> = (0..n_sort as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     let (_, sort_base) = measure(Omega::symmetric(), || merge_sort_baseline(&keys));
     let (_, sort_we) = measure(Omega::symmetric(), || incremental_sort(&keys, 1));
 
@@ -28,7 +30,10 @@ fn main() {
     });
 
     println!("work(baseline) / work(write-efficient) as ω grows:");
-    println!("{:>6} {:>12} {:>12} {:>12}", "ω", "sort", "delaunay", "kdtree");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "ω", "sort", "delaunay", "kdtree"
+    );
     for omega in [1u64, 5, 10, 20, 40] {
         let omega = Omega::new(omega);
         let ratio = |base: &CostReport, we: &CostReport| {

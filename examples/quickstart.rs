@@ -11,7 +11,9 @@ fn main() {
     println!("Asymmetric NP model with {omega}: a write costs 10 reads.\n");
 
     // 1. Write-efficient comparison sort (Theorem 4.1).
-    let keys: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let keys: Vec<u64> = (0..200_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     let (sorted, cost) = measure(omega, || incremental_sort(&keys, 1));
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     println!("incremental sort   : {cost}");
@@ -32,8 +34,7 @@ fn main() {
     let ((tree, stats), cost) = measure(omega, || build_p_batched(&pts, p, 16, 3));
     println!(
         "k-d tree (p-batched, p={p}): height {}, {} nodes, {cost}",
-        stats.height,
-        stats.nodes
+        stats.height, stats.nodes
     );
     let query = pwe_geom::bbox::BBoxK::new([0.4, 0.4], [0.6, 0.6]);
     println!(

@@ -1,23 +1,31 @@
 //! Cross-crate integration tests: the full pipelines a downstream user would
 //! run, exercised through the umbrella crate's public API.
 
-use pwe::prelude::*;
 use pwe::augtree::priority::{three_sided_bruteforce, PsPoint};
 use pwe::augtree::range_tree::{range_bruteforce, RtPoint};
 use pwe::delaunay::verify::{check_delaunay_property, check_mesh_consistency, same_triangulation};
 use pwe::kdtree::tree::range_bruteforce as kd_range_bruteforce;
+use pwe::prelude::*;
 use pwe_geom::bbox::{BBoxK, Rect};
 use pwe_geom::generators::*;
 use pwe_geom::interval::stab_bruteforce;
 
 #[test]
 fn sort_pipeline_is_correct_and_write_efficient() {
-    let keys: Vec<u64> = (0..60_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13).collect();
+    let keys: Vec<u64> = (0..60_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13)
+        .collect();
     let (sorted, we) = measure(Omega::new(10), || incremental_sort(&keys, 5));
     let (expected, baseline) = measure(Omega::new(10), || merge_sort_baseline(&keys));
     assert_eq!(sorted, expected);
-    assert!(we.writes < baseline.writes, "incremental sort must write less");
-    assert!(we.work() < baseline.work(), "and therefore cost less ω-weighted work");
+    assert!(
+        we.writes < baseline.writes,
+        "incremental sort must write less"
+    );
+    assert!(
+        we.work() < baseline.work(),
+        "and therefore cost less ω-weighted work"
+    );
 }
 
 #[test]
@@ -66,17 +74,26 @@ fn augmented_trees_answer_queries_exactly() {
     let ps_points: Vec<PsPoint> = uniform_points_2d(5_000, 43)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| PsPoint { point, id: i as u64 })
+        .map(|(i, point)| PsPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     let pst = PrioritySearchTree::build_presorted(&ps_points);
     for &(lo, hi, y) in &random_three_sided_queries(100, 0.3, 44) {
-        assert_eq!(pst.query_3sided(lo, hi, y), three_sided_bruteforce(&ps_points, lo, hi, y));
+        assert_eq!(
+            pst.query_3sided(lo, hi, y),
+            three_sided_bruteforce(&ps_points, lo, hi, y)
+        );
     }
     // Range tree.
     let rt_points: Vec<RtPoint> = uniform_points_2d(5_000, 45)
         .into_iter()
         .enumerate()
-        .map(|(i, point)| RtPoint { point, id: i as u64 })
+        .map(|(i, point)| RtPoint {
+            point,
+            id: i as u64,
+        })
         .collect();
     let rt = RangeTree2D::build(&rt_points, 4);
     for rect in &random_query_rects(100, 0.2, 46) {

@@ -16,7 +16,11 @@ fn fig1_tracing_structure() {
     let mesh = triangulate_write_efficient(&points, 3);
     for (idx, _tri) in mesh.triangles.iter().enumerate() {
         let parents = mesh.predecessors(idx);
-        assert!(parents.len() <= 2, "triangle {idx} has {} parents", parents.len());
+        assert!(
+            parents.len() <= 2,
+            "triangle {idx} has {} parents",
+            parents.len()
+        );
         for p in parents {
             assert!(p < idx, "parent {p} must be created before child {idx}");
         }
@@ -64,7 +68,10 @@ fn fig3_alpha_rebalancing() {
         tree.insert(&s);
         reference.push(s);
     }
-    assert!(tree.rebuilds > 0, "one-sided growth must trigger reconstruction");
+    assert!(
+        tree.rebuilds > 0,
+        "one-sided growth must trigger reconstruction"
+    );
     for q in [5.0, 500.0, 2100.5, 3999.2, 4100.0] {
         assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
     }

@@ -1,0 +1,272 @@
+//! Offline stand-in for [criterion 0.5](https://docs.rs/criterion) covering
+//! the subset this workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId::new`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for a
+//! small, bounded number of samples (respecting `sample_size`, capped by a
+//! per-benchmark time budget) and prints `group/function/param: median …` to
+//! stdout. When the binary is invoked by `cargo test` (cargo passes
+//! `--test`), each benchmark body runs exactly once — a smoke execution, not
+//! a measurement.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Soft wall-clock budget per benchmark so `cargo bench` on the stub stays
+/// fast even for expensive bodies.
+const TIME_BUDGET: Duration = Duration::from_millis(250);
+
+/// Prevent the optimizer from discarding a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.durations.clear();
+        let budget_start = Instant::now();
+        for done in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.durations.push(t.elapsed());
+            if done + 1 < self.samples && budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.durations.is_empty() {
+            return None;
+        }
+        self.durations.sort_unstable();
+        Some(self.durations[self.durations.len() / 2])
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Filters are accepted and ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            default_sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size;
+        let test_mode = self.test_mode;
+        run_one("", &id.into_benchmark_id(), samples, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id,
+            self.sample_size,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { sample_size },
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{}/{}", group, id.id)
+    };
+    match bencher.median() {
+        Some(median) => println!(
+            "{label}: median {median:?} over {} sample(s)",
+            bencher.durations.len()
+        ),
+        None => println!("{label}: no samples recorded"),
+    }
+}
+
+/// Build a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build a `main` that runs each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            test_mode: false,
+        };
+        let mut hits = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::new("f", 10), &10u32, |b, &n| {
+                b.iter(|| {
+                    hits += 1;
+                    n * 2
+                })
+            });
+            group.finish();
+        }
+        assert!(hits >= 1, "benchmark body should run at least once");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            default_sample_size: 50,
+            test_mode: true,
+        };
+        let mut hits = 0u32;
+        c.bench_function("once", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) covering exactly the
+//! subset this workspace uses: `join`, `current_num_threads`, and the
+//! `prelude` parallel-iterator entry points (`into_par_iter`, `par_iter`,
+//! `par_chunks`, `par_chunks_mut`, `par_iter_mut`).
+//!
+//! Everything executes **sequentially**. That is semantically valid for this
+//! repo: the paper's claims are counted read/write/depth bounds, and the
+//! workspace records depth *structurally* (via `pwe_asym::depth`), not by
+//! wall-clock speedup. The call surface mirrors rayon's so that swapping the
+//! real crate back in (when a registry is reachable) is a one-line manifest
+//! change — in particular `join` keeps rayon's `Send` bounds and the
+//! iterator wrapper keeps rayon's two-argument `reduce(identity, op)`.
+
+/// Run both closures and return both results.
+///
+/// rayon runs these on a work-stealing pool; the stub runs `a` then `b` on
+/// the calling thread. The `Send` bounds match rayon so code written against
+/// this stub stays compatible with the real crate.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ra = a();
+    let rb = b();
+    (ra, rb)
+}
+
+/// Number of threads the "pool" would use: the machine's available
+/// parallelism. Callers use this only to pick chunk sizes.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A sequential iterator masquerading as a parallel one.
+///
+/// Implements [`Iterator`] by delegation, so every std combinator
+/// (`for_each`, `collect`, `zip`, `filter`, `cloned`, `enumerate`,
+/// `partition`, `sum`, …) is available. The few rayon methods whose
+/// signatures differ from std (`map` so chains stay wrapped, two-argument
+/// `reduce`) are provided as inherent methods, which take precedence over
+/// the `Iterator` ones.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map, keeping the `ParIter` wrapper so rayon-specific terminal
+    /// operations (e.g. two-argument `reduce`) remain reachable downstream.
+    #[inline]
+    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// rayon's `reduce`: fold from an identity element with an associative
+    /// combiner. (std's `Iterator::reduce` takes only the combiner.)
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), &op)
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    use super::ParIter;
+
+    /// `into_par_iter()` on anything iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = ParIter<T::IntoIter>;
+
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(chunk_size))
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(chunk_size))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ab".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn par_iter_chains_like_std() {
+        let v = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u64 = (0..10u64)
+            .into_par_iter()
+            .map(|x| x * 2)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(b, chunk)| {
+            for slot in chunk.iter_mut() {
+                *slot = b;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}
