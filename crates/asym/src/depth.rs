@@ -19,17 +19,117 @@
 //! [`crate::cost::CostReport`] carries the total depth of the measured region
 //! (sequential composition adds; parallel composition inside a round takes a
 //! max through `RoundDepth`).
+//!
+//! ## Composing over `join`
+//!
+//! Fork-join branches compose in parallel: the span of
+//! `par_join(a, b)` is `max(span(a), span(b))`, not their sum.  Since the
+//! pool behind `rayon` executes branches on real threads, summing every
+//! branch's [`add`] calls into the global accumulator would report the
+//! *work-series* depth, not the span.  Instead, [`with_span`] runs a closure
+//! under a thread-local **span scope** that captures the closure's `add`
+//! calls; `pwe_asym::parallel::par_join` measures both branches this way and
+//! commits only the maximum to the enclosing scope (or, at the outermost
+//! join, to the global accumulator).  Scopes follow the task, not the
+//! thread: the pool's task hooks ([`install_rayon_task_hooks`]) save and
+//! clear the executing thread's scope around every stolen job, so depth
+//! recorded by an unrelated task a waiting thread picks up never leaks into
+//! the waiter's span.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
 
 static ACCUMULATED: AtomicU64 = AtomicU64::new(0);
 
+/// Thread-local span scope: when active, [`add`] accumulates here instead of
+/// in the global counter, and the enclosing `par_join` decides how the value
+/// composes (max with the sibling branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpanScope {
+    active: bool,
+    acc: u64,
+}
+
+const NO_SCOPE: SpanScope = SpanScope {
+    active: false,
+    acc: 0,
+};
+
+thread_local! {
+    static SCOPE: Cell<SpanScope> = const { Cell::new(NO_SCOPE) };
+}
+
 /// Add `d` units of depth for a sequentially-composed phase or round.
+///
+/// Inside a [`with_span`] scope (i.e. inside a `par_join` branch) the units
+/// accumulate into that branch's span; otherwise they go straight to the
+/// global accumulator.
 #[inline]
 pub fn add(d: u64) {
-    if d > 0 {
+    if d == 0 {
+        return;
+    }
+    let scope = SCOPE.get();
+    if scope.active {
+        SCOPE.set(SpanScope {
+            active: true,
+            acc: scope.acc + d,
+        });
+    } else {
         ACCUMULATED.fetch_add(d, Ordering::Relaxed);
     }
+}
+
+/// Run `f` under a fresh span scope, returning its result and the depth it
+/// recorded (via [`add`], nested `par_join`s included).  The captured depth
+/// is **not** committed anywhere — the caller composes it (a `par_join`
+/// takes the max over its two branches) and re-[`add`]s the combined value.
+pub fn with_span<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    struct Restore(SpanScope);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPE.set(self.0);
+        }
+    }
+    let restore = Restore(SCOPE.replace(SpanScope {
+        active: true,
+        acc: 0,
+    }));
+    let result = f();
+    let span = SCOPE.get().acc;
+    drop(restore);
+    (result, span)
+}
+
+fn pack_scope(scope: SpanScope) -> u64 {
+    (scope.acc << 1) | u64::from(scope.active)
+}
+
+fn unpack_scope(token: u64) -> SpanScope {
+    SpanScope {
+        active: token & 1 == 1,
+        acc: token >> 1,
+    }
+}
+
+fn task_enter() -> u64 {
+    pack_scope(SCOPE.replace(NO_SCOPE))
+}
+
+fn task_exit(token: u64) {
+    SCOPE.set(unpack_scope(token));
+}
+
+/// Register the span-scope save/restore pair as the pool's task hooks, so a
+/// thread that steals an unrelated job while waiting inside a `join` does
+/// not mix that job's depth into its own active span.  Idempotent; called by
+/// `pwe_asym::parallel` before its first fork.
+pub fn install_rayon_task_hooks() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        rayon::set_task_hooks(task_enter, task_exit);
+    });
 }
 
 /// Total depth accumulated since process start.
@@ -166,5 +266,46 @@ mod tests {
         let before = accumulated();
         add(0);
         assert!(accumulated() >= before);
+    }
+
+    #[test]
+    fn span_scope_captures_adds_without_touching_global() {
+        // `with_span` isolates this thread's adds, so the assertion is exact
+        // even with other tests recording depth concurrently.
+        let ((), span) = with_span(|| {
+            add(3);
+            add(4);
+        });
+        assert_eq!(span, 7);
+    }
+
+    #[test]
+    fn span_scopes_nest() {
+        let ((), outer) = with_span(|| {
+            add(1);
+            let ((), inner) = with_span(|| add(10));
+            assert_eq!(inner, 10);
+            // The inner span was *returned*, not auto-committed; compose by
+            // hand like par_join does.
+            add(inner);
+        });
+        assert_eq!(outer, 11);
+    }
+
+    #[test]
+    fn scope_pack_roundtrip() {
+        for scope in [
+            NO_SCOPE,
+            SpanScope {
+                active: true,
+                acc: 0,
+            },
+            SpanScope {
+                active: true,
+                acc: 123_456,
+            },
+        ] {
+            assert_eq!(unpack_scope(pack_scope(scope)), scope);
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! Self-relative speedup report: the same workload at 1, 2 and N pool
+//! threads, as machine-readable JSON (one line per `(workload, n, threads)`
+//! on stdout).
+//!
+//! The pool reads `RAYON_NUM_THREADS` exactly once, when it starts, so one
+//! process cannot measure two thread counts.  The parent therefore
+//! re-executes itself (`--child <workload>`) once per `(workload, threads)`
+//! pair with the environment variable set, collects each child's JSON line,
+//! appends a `"speedup_vs_1t"` field computed against the child's own
+//! 1-thread run, and re-emits the lines.  A human-readable summary goes to
+//! stderr.
+//!
+//! Usage:
+//!   cargo run --release -p pwe-bench --bin speedup                 # all workloads
+//!   cargo run --release -p pwe-bench --bin speedup -- --workload sort --n 500000
+//!   cargo run --release -p pwe-bench --bin speedup -- --threads 1,2,8
+//!
+//! Workloads: the theorem experiments (`sort`, `mergesort`, `delaunay`,
+//! `kdtree`), the parallel primitives behind them (`semisort`, `scan`), and
+//! the Table-1 tree constructions (`interval`, `priority`, `range`).
+
+use std::process::Command;
+
+use pwe_asym::cost::{measure, CostReport, Omega};
+use pwe_augtree::interval::IntervalTree;
+use pwe_augtree::priority::{PrioritySearchTree, PsPoint};
+use pwe_augtree::range_tree::{RangeTree2D, RtPoint};
+use pwe_delaunay::triangulate_write_efficient;
+use pwe_geom::generators::{random_intervals, uniform_grid_points, uniform_points_2d};
+use pwe_kdtree::build::{build_p_batched, recommended_p};
+use pwe_primitives::scan::par_exclusive_scan;
+use pwe_primitives::semisort::semisort_by_key;
+use pwe_sort::{incremental_sort, merge_sort_baseline};
+use rand::Rng;
+use rand::SeedableRng;
+
+const WORKLOADS: &[&str] = &[
+    "sort",
+    "mergesort",
+    "semisort",
+    "scan",
+    "delaunay",
+    "kdtree",
+    "interval",
+    "priority",
+    "range",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(workload) = arg_str(&args, "--child") {
+        let n = arg_usize(&args, "--n");
+        println!("{}", run_child(&workload, n));
+        return;
+    }
+    run_parent(&args);
+}
+
+/// One measured run inside a child process whose pool size is already fixed
+/// by `RAYON_NUM_THREADS`.
+fn run_child(workload: &str, n_override: Option<usize>) -> String {
+    let threads = rayon::current_num_threads();
+    let (n, report) = run_workload(workload, n_override);
+    format!(
+        "{{\"workload\":\"{workload}\",\"n\":{n},\"threads\":{threads},\
+         \"millis\":{:.3},\"reads\":{},\"writes\":{},\"depth\":{}}}",
+        report.elapsed.as_secs_f64() * 1e3,
+        report.reads,
+        report.writes,
+        report.depth
+    )
+}
+
+fn run_workload(workload: &str, n_override: Option<usize>) -> (usize, CostReport) {
+    let omega = Omega::new(1);
+    match workload {
+        "sort" => {
+            let n = n_override.unwrap_or(200_000);
+            let keys = random_keys(n, 42);
+            let (_, r) = measure(omega, || incremental_sort(&keys, 7));
+            (n, r)
+        }
+        "mergesort" => {
+            let n = n_override.unwrap_or(400_000);
+            let keys = random_keys(n, 43);
+            let (_, r) = measure(omega, || merge_sort_baseline(&keys));
+            (n, r)
+        }
+        "semisort" => {
+            let n = n_override.unwrap_or(1_000_000);
+            let keys = random_keys(n, 44);
+            let (_, r) = measure(omega, || semisort_by_key(&keys, |k| k % 1009));
+            (n, r)
+        }
+        "scan" => {
+            let n = n_override.unwrap_or(4_000_000);
+            let input: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 101).collect();
+            let (_, r) = measure(omega, || par_exclusive_scan(&input));
+            (n, r)
+        }
+        "delaunay" => {
+            let n = n_override.unwrap_or(20_000);
+            let points = uniform_grid_points(n, 1 << 20, 3);
+            let (_, r) = measure(omega, || triangulate_write_efficient(&points, 5));
+            (n, r)
+        }
+        "kdtree" => {
+            let n = n_override.unwrap_or(200_000);
+            let points = uniform_points_2d(n, 11);
+            let (_, r) = measure(omega, || build_p_batched(&points, recommended_p(n), 16, 13));
+            (n, r)
+        }
+        "interval" => {
+            let n = n_override.unwrap_or(100_000);
+            let intervals = random_intervals(n, 1e6, 200.0, 17);
+            let (_, r) = measure(omega, || IntervalTree::build_presorted(&intervals, 2));
+            (n, r)
+        }
+        "priority" => {
+            let n = n_override.unwrap_or(100_000);
+            let points: Vec<PsPoint> = uniform_points_2d(n, 23)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| PsPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            let (_, r) = measure(omega, || PrioritySearchTree::build_presorted(&points));
+            (n, r)
+        }
+        "range" => {
+            let n = n_override.unwrap_or(50_000);
+            let points: Vec<RtPoint> = uniform_points_2d(n, 31)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| RtPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            let (_, r) = measure(omega, || RangeTree2D::build(&points, 8));
+            (n, r)
+        }
+        other => {
+            eprintln!("unknown workload {other:?}; expected one of {WORKLOADS:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_parent(args: &[String]) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let n_override = arg_usize(args, "--n");
+    let workloads: Vec<String> = match arg_str(args, "--workload") {
+        Some(w) => vec![w],
+        None => WORKLOADS.iter().map(|w| w.to_string()).collect(),
+    };
+    let threads: Vec<usize> = match arg_str(args, "--threads") {
+        Some(list) => {
+            // Sort and dedup so a 1-thread run (if requested) always comes
+            // first and every later line carries a speedup_vs_1t field,
+            // regardless of the order the flags were typed in.
+            let mut ts: Vec<usize> = list
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts
+        }
+        None => {
+            let max = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let mut ts = vec![1, 2, max];
+            ts.sort_unstable();
+            ts.dedup();
+            ts
+        }
+    };
+
+    for workload in &workloads {
+        let mut baseline_millis: Option<f64> = None;
+        for &t in &threads {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--child").arg(workload);
+            if let Some(n) = n_override {
+                cmd.arg("--n").arg(n.to_string());
+            }
+            cmd.env("RAYON_NUM_THREADS", t.to_string());
+            let out = cmd.output().expect("failed to spawn child");
+            if !out.status.success() {
+                eprintln!(
+                    "child ({workload}, {t} threads) failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                std::process::exit(1);
+            }
+            let line = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            let millis = json_f64(&line, "millis").expect("child line missing millis");
+            if t == 1 {
+                baseline_millis = Some(millis);
+            }
+            let speedup = baseline_millis.map(|base| base / millis.max(1e-9));
+            match speedup {
+                Some(s) => {
+                    println!("{},\"speedup_vs_1t\":{s:.3}}}", line.trim_end_matches('}'));
+                    eprintln!(
+                        "{workload:<10} threads={t:<3} {millis:>10.2} ms   speedup {s:>5.2}x"
+                    );
+                }
+                None => {
+                    println!("{line}");
+                    eprintln!("{workload:<10} threads={t:<3} {millis:>10.2} ms");
+                }
+            }
+        }
+    }
+}
+
+fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Extract `"key":<number>` from a flat JSON object line (the only JSON this
+/// binary ever parses is the one it printed itself).
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_usize(args: &[String], key: &str) -> Option<usize> {
+    arg_str(args, key).and_then(|v| v.parse().ok())
+}

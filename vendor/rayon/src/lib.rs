@@ -1,21 +1,123 @@
-//! Offline stand-in for [rayon](https://docs.rs/rayon) covering exactly the
-//! subset this workspace uses: `join`, `current_num_threads`, and the
-//! `prelude` parallel-iterator entry points (`into_par_iter`, `par_iter`,
-//! `par_chunks`, `par_chunks_mut`, `par_iter_mut`).
+//! Offline stand-in for [rayon](https://docs.rs/rayon) with a **real
+//! work-stealing fork-join pool**, covering the subset this workspace uses:
+//! [`join`], [`current_num_threads`], and the `prelude` parallel-iterator
+//! entry points (`into_par_iter`, `par_iter`, `par_chunks`, `par_chunks_mut`,
+//! `par_iter_mut`) with the `for_each` / `map` + `collect` / `reduce` /
+//! `sum` / `partition` terminals.
 //!
-//! Everything executes **sequentially**. That is semantically valid for this
-//! repo: the paper's claims are counted read/write/depth bounds, and the
-//! workspace records depth *structurally* (via `pwe_asym::depth`), not by
-//! wall-clock speedup. The call surface mirrors rayon's so that swapping the
-//! real crate back in (when a registry is reachable) is a one-line manifest
-//! change — in particular `join` keeps rayon's `Send` bounds and the
-//! iterator wrapper keeps rayon's two-argument `reduce(identity, op)`.
+//! Execution is genuinely concurrent: a lazily-initialized global pool
+//! (sized by `RAYON_NUM_THREADS`, falling back to the machine's available
+//! parallelism) runs per-worker deques with owner-LIFO/thief-FIFO stealing,
+//! [`join`] pushes its second closure for stealing and runs the first
+//! inline, and the iterator terminals split recursively into pool tasks
+//! (see [`mod@iter`] and [`mod@pool`] for the two layers).  Blocked threads
+//! steal instead of idling, so nested and re-entrant use cannot deadlock,
+//! and a panic inside either `join` branch or any iterator task propagates
+//! to the caller without killing a worker.
+//!
+//! ## Thread count
+//!
+//! `RAYON_NUM_THREADS=n` fixes the number of compute threads: the calling
+//! thread plus `n - 1` spawned workers (the caller runs `join`'s first
+//! branch and steals while it waits, so it is a full participant).  `n = 1`
+//! disables the pool entirely (everything inline on the caller — the
+//! sequential leg of the CI matrix).  Unset, the pool sizes itself to
+//! `std::thread::available_parallelism()`.  The variable is read once, when
+//! the pool first starts; to compare thread counts run separate processes
+//! (that is what `pwe-bench`'s `speedup` binary does).
+//!
+//! ## Differences from the real crate
+//!
+//! * [`with_sequential`] scopes a thread-local override forcing inline
+//!   execution — the instrumentation stress tests use it to compare counter
+//!   totals between a sequential and a parallel run of the same algorithm
+//!   in one process.
+//! * [`set_task_hooks`] lets one instrumentation layer (here:
+//!   `pwe_asym::depth`) save and restore per-task thread-local state around
+//!   every stolen job, so span accounting composes over `join` instead of
+//!   leaking across steals.
+//! * The iterator surface is the indexed subset the workspace uses; exotic
+//!   combinators of the real crate are absent on purpose.  Swapping the real
+//!   rayon back in (when a registry is reachable) remains a one-line
+//!   manifest change because the call surface matches — in particular
+//!   `join` keeps rayon's `Send` bounds and `reduce` keeps the two-argument
+//!   `(identity, op)` form.
 
-/// Run both closures and return both results.
+pub mod iter;
+pub(crate) mod pool;
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+pub use iter::prelude;
+
+thread_local! {
+    static SEQUENTIAL_MODE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True while the current thread is inside [`with_sequential`].
+pub fn in_sequential_mode() -> bool {
+    SEQUENTIAL_MODE.get()
+}
+
+/// Run `f` with all `join`s and iterator terminals on this thread forced
+/// inline (no tasks are pushed to the pool, so no other thread participates
+/// in the computation).  Used by instrumentation tests to obtain the
+/// single-threaded counter/depth totals of an algorithm for comparison with
+/// its parallel run.
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            SEQUENTIAL_MODE.set(self.0);
+        }
+    }
+    let _reset = Reset(SEQUENTIAL_MODE.replace(true));
+    f()
+}
+
+/// Hook called before a pool thread executes a queued job; returns a token.
+pub type TaskEnterHook = fn() -> u64;
+/// Hook called after the job, with the token from [`TaskEnterHook`].
+pub type TaskExitHook = fn(u64);
+
+static TASK_HOOKS: OnceLock<(TaskEnterHook, TaskExitHook)> = OnceLock::new();
+
+/// Install instrumentation hooks bracketing every queued-job execution (both
+/// in the worker loop and in work-stealing waits).  The enter hook runs on
+/// the executing thread immediately before the job and its token is handed
+/// to the exit hook immediately after; instrumentation layers use the pair
+/// to save and restore per-task thread-local state so state never leaks
+/// between a thief's own context and the stolen task.  First caller wins;
+/// returns whether this call installed its hooks.
+pub fn set_task_hooks(enter: TaskEnterHook, exit: TaskExitHook) -> bool {
+    TASK_HOOKS.set((enter, exit)).is_ok()
+}
+
+pub(crate) fn hooks_enter() -> Option<u64> {
+    TASK_HOOKS.get().map(|(enter, _)| enter())
+}
+
+pub(crate) fn hooks_exit(token: Option<u64>) {
+    if let (Some((_, exit)), Some(token)) = (TASK_HOOKS.get(), token) {
+        exit(token);
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
 ///
-/// rayon runs these on a work-stealing pool; the stub runs `a` then `b` on
-/// the calling thread. The `Send` bounds match rayon so code written against
-/// this stub stays compatible with the real crate.
+/// `a` runs inline on the calling thread while `b` is exposed to the pool
+/// for stealing.  If nobody stole `b` by the time `a` finishes it is popped
+/// back and run inline (the common case for deep recursion — cheap, no
+/// synchronization beyond the deque lock); otherwise the caller executes
+/// *other* pool jobs while it waits for the thief to finish.
+///
+/// A panic in either closure propagates to the caller.  If `a` panics while
+/// `b` is stolen, the unwind is held until `b` has completed (its closure
+/// may borrow from this stack frame); `b`'s own outcome is then discarded
+/// and `a`'s panic resumes.  If `a` panics and `b` was *not* stolen, `b` is
+/// dropped without running, like the real rayon.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -23,127 +125,61 @@ where
     RA: Send,
     RB: Send,
 {
-    let ra = a();
-    let rb = b();
-    (ra, rb)
+    if in_sequential_mode() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let registry = pool::global();
+    if registry.num_workers() == 0 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+
+    let job_b = pool::StackJob::new(b);
+    let job_ref = unsafe { job_b.as_job_ref() };
+    let tag = job_ref.data();
+    registry.push(job_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    let result_b = if registry.pop_if(tag) {
+        // Not stolen: run `b` inline (skip it entirely if `a` panicked).
+        match result_a {
+            Ok(_) => Some(job_b.run_inline()),
+            Err(_) => None,
+        }
+    } else {
+        // Stolen: execute other jobs until the thief signals completion.
+        registry.wait_until(job_b.latch());
+        match result_a {
+            Ok(_) => Some(job_b.take_result()),
+            Err(_) => {
+                job_b.drop_result();
+                None
+            }
+        }
+    };
+
+    match result_a {
+        Ok(ra) => (ra, result_b.expect("join branch b missing result")),
+        Err(payload) => panic::resume_unwind(payload),
+    }
 }
 
-/// Number of threads the "pool" would use: the machine's available
-/// parallelism. Callers use this only to pick chunk sizes.
+/// Number of threads the pool uses (≥ 1).  Callers use this to pick chunk
+/// sizes; it also forces pool initialization.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// A sequential iterator masquerading as a parallel one.
-///
-/// Implements [`Iterator`] by delegation, so every std combinator
-/// (`for_each`, `collect`, `zip`, `filter`, `cloned`, `enumerate`,
-/// `partition`, `sum`, …) is available. The few rayon methods whose
-/// signatures differ from std (`map` so chains stay wrapped, two-argument
-/// `reduce`) are provided as inherent methods, which take precedence over
-/// the `Iterator` ones.
-pub struct ParIter<I>(pub I);
-
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-impl<I: Iterator> ParIter<I> {
-    /// Map, keeping the `ParIter` wrapper so rayon-specific terminal
-    /// operations (e.g. two-argument `reduce`) remain reachable downstream.
-    #[inline]
-    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> B,
-    {
-        ParIter(self.0.map(f))
-    }
-
-    /// rayon's `reduce`: fold from an identity element with an associative
-    /// combiner. (std's `Iterator::reduce` takes only the combiner.)
-    #[inline]
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), &op)
-    }
-}
-
-pub mod prelude {
-    //! Drop-in replacement for `rayon::prelude::*`.
-    use super::ParIter;
-
-    /// `into_par_iter()` on anything iterable (ranges, `Vec`, …).
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T: IntoIterator> IntoParallelIterator for T {
-        type Item = T::Item;
-        type Iter = ParIter<T::IntoIter>;
-
-        #[inline]
-        fn into_par_iter(self) -> Self::Iter {
-            ParIter(self.into_iter())
-        }
-    }
-
-    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-            ParIter(self.iter())
-        }
-
-        #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-            ParIter(self.chunks(chunk_size))
-        }
-    }
-
-    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        #[inline]
-        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-            ParIter(self.iter_mut())
-        }
-
-        #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-            ParIter(self.chunks_mut(chunk_size))
-        }
-    }
+    pool::global().num_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn join_runs_both() {
@@ -152,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn par_iter_chains_like_std() {
+    fn par_iter_chains_like_rayon() {
         let v = [1u64, 2, 3, 4];
         let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
@@ -172,5 +208,139 @@ mod tests {
             }
         });
         assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn zip_filter_partition_preserve_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let flags: Vec<bool> = items.iter().map(|x| x % 3 == 0).collect();
+        let packed: Vec<u32> = items
+            .par_iter()
+            .zip(flags.par_iter())
+            .filter(|(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+        let expected: Vec<u32> = (0..1000).filter(|x| x % 3 == 0).collect();
+        assert_eq!(packed, expected);
+
+        let (even, odd): (Vec<u32>, Vec<u32>) = items.par_iter().cloned().partition(|x| x % 2 == 0);
+        assert_eq!(even, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(odd, (0..1000).filter(|x| x % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn big_collect_is_in_order() {
+        let n = 200_000u64;
+        let out: Vec<u64> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), n as usize);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn sum_over_range() {
+        let s: u64 = (0..100_000u64).into_par_iter().sum();
+        assert_eq!(s, 99_999 * 100_000 / 2);
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..10_001).collect::<Vec<_>>());
+    }
+
+    /// Acceptance check for the work-stealing pool: with ≥ 2 threads
+    /// configured, `join` branches are observed on ≥ 2 distinct OS threads.
+    #[test]
+    fn join_branches_run_on_distinct_threads() {
+        if super::current_num_threads() < 2 {
+            // RAYON_NUM_THREADS=1: the pool is disabled by design.
+            return;
+        }
+        let seen = Mutex::new(HashSet::new());
+        fn spread(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+            if depth == 0 {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // A little spinning makes steals overwhelmingly likely.
+                std::hint::black_box((0..20_000u64).sum::<u64>());
+                return;
+            }
+            super::join(|| spread(depth - 1, seen), || spread(depth - 1, seen));
+        }
+        for _ in 0..20 {
+            spread(6, &seen);
+            if seen.lock().unwrap().len() >= 2 {
+                return;
+            }
+        }
+        panic!(
+            "join branches never left the calling thread despite {} pool threads",
+            super::current_num_threads()
+        );
+    }
+
+    #[test]
+    fn panic_in_join_branch_propagates_and_pool_survives() {
+        for victim in 0..2 {
+            let caught = std::panic::catch_unwind(|| {
+                super::join(
+                    || {
+                        if victim == 0 {
+                            panic!("boom-a")
+                        }
+                        1
+                    },
+                    || {
+                        if victim == 1 {
+                            panic!("boom-b")
+                        }
+                        2
+                    },
+                );
+            });
+            assert!(caught.is_err(), "panic in branch {victim} was swallowed");
+        }
+        // The pool still works after unwinding.
+        let (a, b) = super::join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+        let v: Vec<u32> = (0..1000u32).into_par_iter().map(|x| x).collect();
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn panic_in_for_each_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..10_000u64).into_par_iter().for_each(|i| {
+                if i == 7777 {
+                    panic!("for_each panic");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // Still functional afterwards.
+        let hits = AtomicU64::new(0);
+        (0..1000u64).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn with_sequential_stays_on_caller_thread() {
+        let me = std::thread::current().id();
+        super::with_sequential(|| {
+            (0..10_000u64).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), me);
+            });
+            let (ta, tb) = super::join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(ta, me);
+            assert_eq!(tb, me);
+        });
+        assert!(!super::in_sequential_mode());
     }
 }

@@ -1,0 +1,407 @@
+//! The work-stealing fork-join pool behind [`crate::join`].
+//!
+//! One global registry, lazily initialized on first use, sized by
+//! `RAYON_NUM_THREADS` (falling back to the machine's available
+//! parallelism).  A size of `n` means `n` compute threads: the submitting
+//! thread counts as one (it runs `join`'s first branch and steals while it
+//! waits), so the registry spawns `n - 1` workers.  Each worker owns a
+//! deque of type-erased jobs: the owner
+//! pushes and pops at the **bottom** (LIFO, so a worker dives depth-first
+//! into the task tree it is expanding, keeping its working set hot) and
+//! thieves steal from the **top** (FIFO, so a thief grabs the *oldest* —
+//! i.e. biggest — pending subtree).  That owner-bottom/thief-top discipline
+//! is the Chase–Lev layout; the deques here guard it with a small mutex per
+//! worker instead of the lock-free protocol, which is far easier to audit
+//! and is not a bottleneck at the task granularities this workspace uses
+//! (the iterator layer splits work into ~8 chunks per worker, and `join`
+//! call sites have sequential cutoffs).
+//!
+//! Threads that are not pool workers (the main thread, test harness
+//! threads) submit jobs through a shared injector queue and — like workers
+//! blocked in [`crate::join`] — *steal and execute* other jobs while they
+//! wait, so the pool never deadlocks on nested or re-entrant use: a job
+//! being waited on is either in some queue (the waiter will find and run
+//! it) or already executing on another thread (its latch will be set when
+//! it finishes).
+//!
+//! A panic inside a stolen job is caught at the job boundary, carried back
+//! through the job's result slot, and re-thrown on the thread that waits
+//! for it (see [`StackJob::take_result`]), so worker threads survive user
+//! panics and `join` propagates them to its caller exactly like the real
+//! rayon.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// A type-erased pointer to a job living on some stack frame.
+///
+/// Safety contract: the frame that owns the job keeps it alive until the
+/// job's latch is set (or the job is popped back un-executed), and exactly
+/// one thread ever executes a given `JobRef`.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// The pointer is only dereferenced by the executing thread while the owning
+// frame is pinned in `join`; the closure and result types are `Send`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) fn data(&self) -> *const () {
+        self.data
+    }
+
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// A latch a waiter can probe cheaply: just an atomic flag.
+///
+/// The latch lives inside a [`StackJob`] on the *waiter's* stack, and the
+/// waiter is free to pop that frame the instant it observes the flag — so
+/// [`set`](Latch::set) must be the **last** touch of the latch's memory by
+/// the setting thread.  Blocking waits therefore go through the registry's
+/// own (`'static`) mutex/condvar pair, never through per-latch state: the
+/// executing thread stores the flag and then notifies via
+/// [`Registry::notify`], which owns memory that outlives every job.
+pub(crate) struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        // SeqCst pairs with the SeqCst `sleepers` accesses in the registry:
+        // either the setter sees the registered sleeper and notifies, or the
+        // waiter's under-lock probe sees the flag (Dekker-style), so a
+        // wake-up cannot be lost (the sleep timeout remains as a backstop).
+        self.set.load(Ordering::SeqCst)
+    }
+
+    /// Set the flag.  After this store the latch (and the whole job holding
+    /// it) may be freed by the waiter at any moment; the caller must not
+    /// touch the job again and must signal sleepers only through
+    /// registry-owned state.
+    fn set(&self) {
+        self.set.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A `join` branch parked on the caller's stack while it waits to run
+/// (inline, or on whichever thread steals it).
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// Safety: the caller must keep `self` alive until the latch is set or
+    /// the ref is removed from every queue via [`Registry::pop_if`].
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const StackJob<F, R> as *const (),
+            execute_fn: execute_stack_job::<F, R>,
+        }
+    }
+
+    /// Run the closure on the current thread after popping the job back
+    /// un-stolen.  Panics propagate directly (no catch needed: nobody else
+    /// holds a reference to the job any more).
+    pub(crate) fn run_inline(&self) -> R {
+        let func = unsafe { (*self.func.get()).take().unwrap() };
+        func()
+    }
+
+    /// Consume the result written by the executing thread.  Must only be
+    /// called after the latch is set.  Re-throws the job's panic, if any.
+    pub(crate) fn take_result(&self) -> R {
+        let result = unsafe { (*self.result.get()).take().unwrap() };
+        match result {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Like [`take_result`](Self::take_result) but discards a panic payload
+    /// instead of re-throwing (used when branch `a` already panicked and
+    /// its panic takes precedence).
+    pub(crate) fn drop_result(&self) {
+        let _ = unsafe { (*self.result.get()).take() };
+    }
+}
+
+unsafe fn execute_stack_job<F, R>(data: *const ())
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = &*(data as *const StackJob<F, R>);
+    let func = (*job.func.get()).take().unwrap();
+    let result = panic::catch_unwind(AssertUnwindSafe(func));
+    *job.result.get() = Some(result);
+    job.latch.set();
+    // `job` may already be freed by the waiting thread here — wake any
+    // latch-waiter strictly through registry-owned state.
+    global().notify();
+}
+
+/// One worker's deque.  Owner end is the back, steal end is the front.
+struct Deque {
+    queue: Mutex<VecDeque<JobRef>>,
+}
+
+impl Deque {
+    fn new() -> Deque {
+        Deque {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+/// The global pool: worker deques, the injector for external threads, and
+/// the sleep/wake machinery.
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    sleepers: AtomicUsize,
+    steal_rotor: AtomicUsize,
+    workers: usize,
+    threads: usize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The global registry, spawning the worker threads on first use.
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::start)
+}
+
+/// Thread count from `RAYON_NUM_THREADS` (any positive integer) or the
+/// machine's available parallelism.
+fn configured_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+impl Registry {
+    fn start() -> Registry {
+        let threads = configured_threads();
+        // With one configured thread there is no pool at all: `join` and the
+        // iterator terminals run inline on the caller, which is the
+        // sequential-fallback leg CI exercises with RAYON_NUM_THREADS=1.
+        //
+        // Otherwise spawn `threads - 1` workers: the thread that submits
+        // work is itself a compute thread (it runs branch `a` of every
+        // `join` and steals while it waits), so `RAYON_NUM_THREADS = n`
+        // yields n threads computing, not n + 1 — which keeps the `threads`
+        // field of the speedup report honest.
+        let workers = threads.saturating_sub(1);
+        let registry = Registry {
+            deques: (0..workers).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            steal_rotor: AtomicUsize::new(0),
+            workers,
+            threads: threads.max(1),
+        };
+        for index in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("pwe-rayon-{index}"))
+                .spawn(move || worker_main(index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    }
+
+    pub(crate) fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Push a job where the current thread's `join` will look for it: the
+    /// bottom of this worker's deque, or the injector for external threads.
+    pub(crate) fn push(&self, job: JobRef) {
+        match WORKER_INDEX.get() {
+            Some(index) => self.deques[index].queue.lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    /// Remove the job identified by `data` if it has not been stolen yet.
+    /// Returns true when the caller now owns the job again.
+    pub(crate) fn pop_if(&self, data: *const ()) -> bool {
+        match WORKER_INDEX.get() {
+            Some(index) => {
+                let mut queue = self.deques[index].queue.lock().unwrap();
+                if queue.back().is_some_and(|job| job.data() == data) {
+                    queue.pop_back();
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                let mut injector = self.injector.lock().unwrap();
+                if let Some(pos) = injector.iter().rposition(|job| job.data() == data) {
+                    injector.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Find a runnable job: own deque bottom first, then the injector, then
+    /// steal from the top of the other workers' deques (rotating the start
+    /// index so thieves spread out).
+    fn find_work(&self) -> Option<JobRef> {
+        let me = WORKER_INDEX.get();
+        if let Some(index) = me {
+            if let Some(job) = self.deques[index].queue.lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        if self.workers == 0 {
+            return None;
+        }
+        let start = self.steal_rotor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..self.workers {
+            let victim = (start + k) % self.workers;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].queue.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Execute one job, bracketing it with the instrumentation task hooks
+    /// (see [`crate::set_task_hooks`]) so per-task thread-local state — the
+    /// depth-span scopes of `pwe_asym` — never leaks from the thief's
+    /// current context into the stolen task or back.
+    fn execute(&self, job: JobRef) {
+        let token = crate::hooks_enter();
+        unsafe { job.execute() };
+        crate::hooks_exit(token);
+    }
+
+    /// Work-stealing wait: execute other jobs until `latch` is set.  This is
+    /// what keeps nested `join`s deadlock-free — a blocked thread makes
+    /// global progress instead of holding its OS thread idle.
+    pub(crate) fn wait_until(&self, latch: &Latch) {
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                self.execute(job);
+            } else {
+                self.sleep_waiting_for(|| latch.probe());
+            }
+        }
+    }
+
+    /// Wake every sleeping thread (idle workers and latch-waiters alike).
+    /// Called after pushing work and after setting a job's latch; touches
+    /// only registry-owned (`'static`) state, never the latch.
+    pub(crate) fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    fn any_queued(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|deque| !deque.queue.lock().unwrap().is_empty())
+    }
+
+    /// Idle-worker sleep with a lost-wakeup re-check under the sleep lock
+    /// and a timeout backstop.
+    fn sleep(&self) {
+        self.sleep_waiting_for(|| false);
+    }
+
+    /// Sleep on the registry condvar until woken, until `done()` holds, or
+    /// until the timeout backstop expires.  The `done` re-check runs under
+    /// the sleep lock, closing the lost-wakeup window against a setter that
+    /// stores a latch flag and then calls [`notify`](Registry::notify).
+    fn sleep_waiting_for(&self, done: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_lock.lock().unwrap();
+        if !done() && !self.any_queued() {
+            let _ = self
+                .wake
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_main(index: usize) {
+    WORKER_INDEX.set(Some(index));
+    let registry = global();
+    loop {
+        match registry.find_work() {
+            Some(job) => registry.execute(job),
+            None => registry.sleep(),
+        }
+    }
+}
