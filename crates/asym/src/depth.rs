@@ -6,14 +6,20 @@
 //! algorithms in this workspace record their depth *structurally*, which is
 //! both faithful to how the paper's analyses are written and easy to audit:
 //!
-//! * a sequential round contributes its own depth via [`add`] (for example,
-//!   one round of the prefix-doubling Delaunay algorithm contributes
-//!   `O(log n)` — the depth of the dependence DAG restricted to that round);
+//! * a sequential round contributes its own depth via [`add`] (the
+//!   canonical example is the Delaunay engine's bulk-synchronous
+//!   reserve-and-commit rounds: each round adds `1` for the dependence-DAG
+//!   level plus the log of the *widest* cavity retriangulated in the round —
+//!   the per-winner chains inside a round compose by max, not by sum, even
+//!   though the rounds themselves compose sequentially);
 //! * a parallel-for over items, where each item performs a variable-length
 //!   chain of dependent operations (for instance tracing a point down the
 //!   history DAG), contributes the **maximum** chain length over the items.
 //!   [`RoundDepth`] collects that maximum with a relaxed atomic and commits
-//!   it to the global accumulator.
+//!   it to the global accumulator.  When the per-item chain lengths are a
+//!   deterministic function of the round's data (as in the engine), the max
+//!   can equivalently be folded while the round's results are consumed —
+//!   either way the committed value is schedule-independent.
 //!
 //! The global accumulator is diffed by [`crate::cost::measure`], so a
 //! [`crate::cost::CostReport`] carries the total depth of the measured region

@@ -5,7 +5,9 @@
 //! survives a round it is rewritten into the conflict lists of the new
 //! triangles it encroaches, which is what makes the algorithm `Θ(n log n)`
 //! writes in expectation even though its read count and depth match the
-//! write-efficient variant.
+//! write-efficient variant.  The rounds themselves run in parallel inside
+//! the shared reserve-and-commit engine ([`crate::engine::insert_batch`]) —
+//! the baseline is write-*inefficient*, not sequential.
 
 use pwe_geom::point::GridPoint;
 use pwe_primitives::permute::random_permutation;
@@ -39,6 +41,7 @@ pub fn triangulate_baseline_with_stats(
     let ordered: Vec<GridPoint> = perm.iter().map(|&i| points[i]).collect();
     let mut mesh = TriMesh::new(&ordered);
     let conflicts: Vec<(u32, u32)> = (3..mesh.points.len() as u32).map(|p| (0, p)).collect();
+    // One all-points batch: the engine's parallel rounds do the rest.
     let insert = insert_batch(&mut mesh, conflicts);
     let stats = BaselineStats {
         insert,

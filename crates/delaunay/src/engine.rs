@@ -1,30 +1,59 @@
-//! The batch insertion engine shared by the baseline and the write-efficient
-//! Delaunay algorithms.
+//! The parallel batch insertion engine shared by the baseline and the
+//! write-efficient Delaunay algorithms.
 //!
 //! The engine receives the conflict (encroachment) lists of a set of
 //! uninserted points against the *current* triangulation and inserts all of
-//! them, proceeding in rounds exactly like Algorithm 2 of the paper:
+//! them, proceeding in bulk-synchronous **reserve-and-commit rounds**,
+//! exactly like Algorithm 2 of the paper:
 //!
-//! 1. every triangle with a non-empty conflict list nominates its
-//!    minimum-priority encroacher;
-//! 2. a point is a **winner** of the round if it is the nominee of *every*
-//!    triangle it encroaches — winners therefore have pairwise-disjoint
-//!    cavities and can be inserted in the same round;
-//! 3. each winner's cavity is re-triangulated: every boundary edge `(u, w)`
-//!    of the cavity yields a new triangle `(u, w, v)`, whose conflict list is
-//!    computed by filtering the lists of the cavity triangle `t` it was
-//!    carved from and the outside witness `t_o` across `(u, w)` (line 15 of
-//!    Algorithm 2), and whose tracing-structure parents are `t` and `t_o`.
+//! 1. **Nominate** — every triangle with a non-empty conflict list nominates
+//!    its minimum-priority encroacher; each point learns, through a
+//!    min-reservation ([`pwe_primitives::priority_write`]), the smallest
+//!    nominee among the triangles it encroaches.  A point is a **candidate**
+//!    if that minimum is the point itself — i.e. it is the nominee of *every*
+//!    triangle it encroaches, which makes candidate cavities pairwise
+//!    disjoint.
+//! 2. **Assess** — each candidate walks its cavity once (in parallel over
+//!    candidates), collecting the boundary edges and applying the neighbour
+//!    condition of Algorithm 2 (line 7): the candidate survives as a
+//!    **winner** only if it also beats the nominee of every triangle adjacent
+//!    to its cavity, which keeps concurrently inserted cavities from
+//!    invalidating each other's new triangles.
+//! 3. **Reserve** — a parallel prefix scan over per-winner boundary-edge
+//!    counts carves one disjoint triangle-id range per winner out of the
+//!    arena, so construction needs no lock and the arena layout is identical
+//!    at every thread count.
+//! 4. **Construct** — in parallel over winners, every boundary edge `(u, w)`
+//!    of a cavity yields a new triangle `(u, w, v)` (pre-oriented CCW), whose
+//!    conflict list is computed by filtering the lists of the cavity triangle
+//!    `t` it was carved from and the outside witness `t_o` across `(u, w)`
+//!    (line 15 of Algorithm 2), and whose tracing-structure parents are `t`
+//!    and `t_o`.  This phase only reads the round-start state.
+//! 5. **Commit** — cavities are killed and the constructed triangles are
+//!    installed in reserved-id order; the surviving conflict lists are moved
+//!    (not rewritten) into the next round's row table.
+//!
+//! All bookkeeping is flat and index-addressed — conflict lists live in a
+//! row table addressed through a triangle-id-indexed array, candidates and
+//! winners are dense vectors — and every hash-free structure is rebuilt
+//! deterministically, so the triangle arena, the [`InsertStats`], and the
+//! recorded read/write totals are bit-identical across thread counts *and*
+//! across processes (no `RandomState` anywhere on this path).
 //!
 //! Every conflict-list entry written during redistribution is charged as one
 //! write to the asymmetric memory — this is precisely the cost that makes
 //! the all-points-at-once baseline `Θ(n log n)` writes and the
 //! prefix-doubling variant `O(n)` writes.
 
-use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
 
 use pwe_asym::counters::{record_reads, record_writes};
 use pwe_asym::depth;
+use pwe_primitives::priority_write::PriorityIndex;
+use pwe_primitives::scan::par_exclusive_scan;
+use pwe_primitives::semisort::semisort_by_key;
 
 use crate::mesh::{norm_edge, TriMesh, NO_TRI};
 
@@ -42,6 +71,237 @@ pub struct InsertStats {
     pub max_cavity: usize,
 }
 
+/// Sentinel for "no row" / "no owner" in the triangle-id-indexed arrays.
+const NONE: u32 = u32::MAX;
+
+/// One boundary edge of a candidate's cavity.
+#[derive(Debug, Clone, Copy)]
+struct BoundaryEdge {
+    /// The (normalized) cavity-boundary edge.
+    edge: (u32, u32),
+    /// The cavity triangle the edge was carved from.
+    inside: u32,
+    /// The alive triangle across the edge ([`NO_TRI`] on the outer hull).
+    outside: u32,
+}
+
+/// A triangle constructed during the parallel phase, awaiting commit.
+struct PendingTri {
+    /// CCW-oriented vertices.
+    v: [u32; 3],
+    /// Tracing-structure parents.
+    parents: [u32; 2],
+    /// Conflict list of the new triangle (redistribution output).
+    conflicts: Vec<u32>,
+}
+
+/// Rounds with fewer conflict entries than this run their phases inline
+/// (`rayon::with_sequential`): the fork-join dispatch would cost more than
+/// the round's work.  Purely a scheduling choice — counters, stats and the
+/// arena layout do not depend on it.
+const SEQ_ROUND_CUTOFF: u64 = 512;
+
+/// Everything a round decides before touching the mesh: the candidates (for
+/// ownership cleanup), the winner indices into them, the reserved-id offsets
+/// of each winner's fan, and the fully constructed fans themselves.
+struct RoundPlan {
+    candidates: Vec<(u32, Vec<u32>)>,
+    winners: Vec<usize>,
+    fan_offsets: Vec<u64>,
+    fans: Vec<Vec<PendingTri>>,
+}
+
+/// Steps 1–5 of one round: nominate, select candidates, assess cavities,
+/// reserve id ranges, construct the fans.  Reads the round-start state only
+/// (`&TriMesh`), so every phase is free to run in parallel; the caller
+/// commits the plan.  The caller also charges the one-read-per-entry
+/// nomination scan; everything charged here (triangle reads, adjacency
+/// reads, in-circle tests) is a deterministic function of the round state.
+fn plan_round(
+    mesh: &TriMesh,
+    rows_tri: &[u32],
+    rows_pts: &[Vec<u32>],
+    row_of: &[AtomicU32],
+    owner: &[AtomicU32],
+    reserve: &PriorityIndex,
+) -> RoundPlan {
+    let num_rows = rows_tri.len();
+
+    // ---- Step 1: nominate (parallel over rows). ---------------------------
+    // Each row computes its nominee (Algorithm 2, line 7: the minimum of
+    // E(t)), refreshes its row_of mark, and min-reserves the nominee into
+    // the cell of every point in the list.  The reservation cells are round
+    // scratch (the caller charges the scan).
+    let mins: Vec<u32> = (0..num_rows)
+        .into_par_iter()
+        .map(|i| {
+            row_of[rows_tri[i] as usize].store(i as u32, Ordering::Relaxed);
+            let m = *rows_pts[i].iter().min().expect("non-empty conflict list");
+            for &p in &rows_pts[i] {
+                reserve.write_min_untracked(p as usize, u64::from(m));
+            }
+            m
+        })
+        .collect();
+
+    // ---- Step 2: candidates and their cavities. ---------------------------
+    // p is a candidate iff its reservation still holds p itself, i.e. p is
+    // the nominee of every triangle it encroaches.  And since p ∈ E(t)
+    // forces min E(t) ≤ p, candidate cavities are exactly the rows that
+    // nominated them — no per-entry scan needed, and the cavities are
+    // pairwise disjoint.
+    let mut cavity_rows: Vec<(u32, u32)> = (0..num_rows)
+        .into_par_iter()
+        .filter(|&i| reserve.load_untracked(mins[i] as usize) == u64::from(mins[i]))
+        .map(|i| (mins[i], i as u32))
+        .collect();
+    // Deterministic grouping: by candidate, then by row order.
+    cavity_rows.sort_unstable();
+    let mut candidates: Vec<(u32, Vec<u32>)> = Vec::new();
+    for &(p, row) in &cavity_rows {
+        let t = rows_tri[row as usize];
+        match candidates.last_mut() {
+            Some((q, cavity)) if *q == p => cavity.push(t),
+            _ => candidates.push((p, vec![t])),
+        }
+    }
+    debug_assert!(
+        !candidates.is_empty(),
+        "at least the global minimum survives"
+    );
+    // The reservation cells are no longer needed: reset every touched cell
+    // (every point in every round-start list) for the next round.
+    rows_pts.par_iter().for_each(|list| {
+        for &p in list {
+            reserve.clear_untracked(p as usize);
+        }
+    });
+    // Mark cavity ownership (disjoint, so plain relaxed stores suffice).
+    candidates.par_iter().for_each(|(p, cavity)| {
+        for &t in cavity {
+            owner[t as usize].store(*p, Ordering::Relaxed);
+        }
+    });
+
+    // ---- Step 3: assess (parallel over candidates). -----------------------
+    // One walk per cavity collects the boundary and applies the neighbour
+    // condition.  Each cavity triangle costs one triangle read plus one
+    // adjacency read per edge, charged identically at every thread count
+    // (no early exit).
+    let assessed: Vec<(bool, Vec<BoundaryEdge>)> = candidates
+        .par_iter()
+        .map(|(p, cavity)| {
+            let mut ok = true;
+            let mut boundary: Vec<BoundaryEdge> = Vec::new();
+            for &t in cavity {
+                let tv = mesh.triangle(t).v; // vertex triple only: no children clone
+                mesh.charge_triangle_reads(1);
+                for i in 0..3 {
+                    let e = norm_edge(tv[i], tv[(i + 1) % 3]);
+                    match mesh.neighbor_across(t, e) {
+                        Some(o) if owner[o as usize].load(Ordering::Relaxed) == *p => {
+                            // interior edge
+                        }
+                        Some(o) => {
+                            let row = row_of[o as usize].load(Ordering::Relaxed);
+                            if row != NONE && mins[row as usize] < *p {
+                                ok = false;
+                            }
+                            boundary.push(BoundaryEdge {
+                                edge: e,
+                                inside: t,
+                                outside: o,
+                            });
+                        }
+                        None => boundary.push(BoundaryEdge {
+                            edge: e,
+                            inside: t,
+                            outside: NO_TRI,
+                        }),
+                    }
+                }
+            }
+            (ok, boundary)
+        })
+        .collect();
+    let winners: Vec<usize> = (0..candidates.len()).filter(|&i| assessed[i].0).collect();
+    assert!(!winners.is_empty(), "at least the global minimum must win");
+    // Candidates are sorted by point id, so this is sorted too: winner
+    // membership below is a binary search.
+    let winner_pts: Vec<u32> = winners.iter().map(|&i| candidates[i].0).collect();
+    debug_assert!(winner_pts.windows(2).all(|w| w[0] < w[1]));
+
+    // ---- Step 4: reserve id ranges (parallel prefix scan). ----------------
+    let fan_sizes: Vec<u64> = winners
+        .iter()
+        .map(|&i| assessed[i].1.len() as u64)
+        .collect();
+    let (fan_offsets, _total_new) = par_exclusive_scan(&fan_sizes);
+
+    // ---- Step 5: construct (parallel over winners, reads only). -----------
+    // Every new triangle is oriented, parented and given its conflict list
+    // (survivors of E(t) ∪ E(t_o) that encroach it — line 15 of Algorithm 2)
+    // against the round-start state; each in-circle test is one read, each
+    // surviving entry one write, both schedule-independent.
+    let fans: Vec<Vec<PendingTri>> = winners
+        .par_iter()
+        .map(|&ci| {
+            let p = candidates[ci].0;
+            assessed[ci]
+                .1
+                .iter()
+                .map(|b| {
+                    let v = mesh.orient_ccw(b.edge.0, b.edge.1, p);
+                    let mut merged: Vec<u32> = Vec::new();
+                    let row = row_of[b.inside as usize].load(Ordering::Relaxed);
+                    debug_assert_ne!(row, NONE, "cavity triangle without a row");
+                    merged.extend_from_slice(&rows_pts[row as usize]);
+                    if b.outside != NO_TRI {
+                        let row = row_of[b.outside as usize].load(Ordering::Relaxed);
+                        if row != NONE {
+                            merged.extend_from_slice(&rows_pts[row as usize]);
+                        }
+                    }
+                    merged.sort_unstable();
+                    merged.dedup();
+                    let conflicts: Vec<u32> = merged
+                        .into_iter()
+                        .filter(|&q| {
+                            q != p
+                                && winner_pts.binary_search(&q).is_err()
+                                && mesh.encroaches_tri(q, v)
+                        })
+                        .collect();
+                    PendingTri {
+                        v,
+                        parents: [b.inside, b.outside],
+                        conflicts,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    RoundPlan {
+        candidates,
+        winners,
+        fan_offsets,
+        fans,
+    }
+}
+
+#[inline]
+fn atomic_none_vec(len: usize) -> Vec<AtomicU32> {
+    (0..len).map(|_| AtomicU32::new(NONE)).collect()
+}
+
+#[inline]
+fn grow_with_none(v: &mut Vec<AtomicU32>, len: usize) {
+    while v.len() < len {
+        v.push(AtomicU32::new(NONE));
+    }
+}
+
 /// Insert into `mesh` every point that appears in `initial_conflicts`.
 ///
 /// `initial_conflicts` lists, for each (alive) triangle, the uninserted
@@ -55,153 +315,116 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
         return stats;
     }
 
-    // Build the conflict lists E(t).  Each entry is one write.
-    let mut conflicts: HashMap<u32, Vec<u32>> = HashMap::new();
+    // Build the conflict-list rows E(t) with a semisort of the
+    // (triangle, point) pairs by triangle — each entry is one write, and the
+    // deterministic group order (first occurrence) fixes the row order at
+    // every thread count.
     record_writes(initial_conflicts.len() as u64);
     stats.conflict_entries_written += initial_conflicts.len() as u64;
-    for (t, p) in initial_conflicts {
-        debug_assert!(mesh.triangle(t).alive, "conflict against a dead triangle");
-        conflicts.entry(t).or_default().push(p);
+    let mut rows_tri: Vec<u32> = Vec::new();
+    let mut rows_pts: Vec<Vec<u32>> = Vec::new();
+    for group in semisort_by_key(&initial_conflicts, |&(t, _)| t) {
+        debug_assert!(
+            mesh.triangle(group.key).alive,
+            "conflict against a dead triangle"
+        );
+        rows_tri.push(group.key);
+        rows_pts.push(group.items.into_iter().map(|(_, p)| p).collect());
     }
 
-    while !conflicts.is_empty() {
+    // Triangle-id-indexed round scratch (per-round small-memory bookkeeping,
+    // not charged to the large memory):
+    //   row_of[t]  — this round's row index of triangle t (NONE: no list);
+    //                refreshed for every live row at the top of each round,
+    //                so stale marks only ever sit on dead triangles, which no
+    //                phase looks up.
+    //   owner[t]   — the candidate whose cavity contains t this round.
+    //   reserve[p] — min-reservation cell of point p (min over the nominees
+    //                of the triangles p encroaches).
+    let mut row_of = atomic_none_vec(mesh.history_size());
+    let mut owner = atomic_none_vec(mesh.history_size());
+    let reserve = PriorityIndex::new(mesh.points.len());
+
+    while !rows_tri.is_empty() {
         stats.rounds += 1;
 
-        // Step 1: per-triangle nominees (Algorithm 2, line 7: the minimum of
-        // E(t)) and the set of points blocked by losing some nomination.
-        let total_entries: u64 = conflicts.values().map(|v| v.len() as u64).sum();
+        // The pool pays a fork-join dispatch per split; for the small tail
+        // rounds (a handful of conflict entries) that overhead dwarfs the
+        // work.  The cutoff is a pure scheduling decision — every recorded
+        // total is schedule-independent, so running a small round's phases
+        // inline changes nothing observable.
+        let total_entries: u64 = rows_pts.iter().map(|l| l.len() as u64).sum();
+        let plan = if total_entries < SEQ_ROUND_CUTOFF {
+            rayon::with_sequential(|| {
+                plan_round(mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve)
+            })
+        } else {
+            plan_round(mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve)
+        };
         record_reads(total_entries);
-        let mut tri_min: HashMap<u32, u32> = HashMap::with_capacity(conflicts.len());
-        let mut blocked: HashSet<u32> = HashSet::new();
-        let mut nominees: HashSet<u32> = HashSet::new();
-        for (&t, list) in &conflicts {
-            let m = *list.iter().min().expect("non-empty conflict list");
-            tri_min.insert(t, m);
-            nominees.insert(m);
-            for &p in list {
-                if p != m {
-                    blocked.insert(p);
-                }
-            }
-        }
-        let candidates: Vec<u32> = nominees
-            .iter()
-            .copied()
-            .filter(|p| !blocked.contains(p))
-            .collect();
-        debug_assert!(
-            !candidates.is_empty(),
-            "at least the global minimum survives"
-        );
+        let RoundPlan {
+            candidates,
+            winners,
+            fan_offsets,
+            fans,
+        } = plan;
+        let base = mesh.next_triangle_id();
 
-        // Step 2: gather each candidate's cavity and apply the neighbour
-        // condition of Algorithm 2 (line 7): a point may only be inserted if
-        // it also beats the minimum encroacher of every triangle adjacent to
-        // its cavity.  This is what keeps concurrently-inserted cavities from
-        // invalidating each other's new triangles.
-        let candidate_set: HashSet<u32> = candidates.iter().copied().collect();
-        let mut cavities: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (&t, list) in &conflicts {
-            for &p in list {
-                if candidate_set.contains(&p) {
-                    cavities.entry(p).or_default().push(t);
-                }
-            }
-        }
-        let mut winners: Vec<u32> = Vec::new();
-        for (&p, cavity) in &cavities {
-            let cavity_set: HashSet<u32> = cavity.iter().copied().collect();
-            let mut ok = true;
-            'outer: for &t in cavity {
-                let tri = mesh.triangle(t).clone();
-                mesh.charge_triangle_reads(1);
-                for i in 0..3 {
-                    let e = norm_edge(tri.v[i], tri.v[(i + 1) % 3]);
-                    if let Some(o) = mesh.neighbor_across(t, e) {
-                        if !cavity_set.contains(&o) {
-                            if let Some(&m) = tri_min.get(&o) {
-                                if m < p {
-                                    ok = false;
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            if ok {
-                winners.push(p);
-            }
-        }
-        debug_assert!(!winners.is_empty(), "at least the global minimum must win");
-        let winner_set: HashSet<u32> = winners.iter().copied().collect();
-        cavities.retain(|p, _| winner_set.contains(p));
-
-        // Step 3: re-triangulate every winner's cavity.  Cavities are
-        // pairwise disjoint, so any processing order yields the same mesh up
-        // to triangle numbering; the loop below is the sequential
-        // linearization of one parallel round.
+        // ---- Step 6: commit (cheap, deterministic order). -----------------
+        // Kills and installs in winner order; installing in reserved-id
+        // order reproduces exactly the ids the scan handed out.
         let mut round_max_path = 1u64;
-        for (&p, cavity) in &cavities {
+        let mut new_rows_tri: Vec<u32> = Vec::new();
+        let mut new_rows_pts: Vec<Vec<u32>> = Vec::new();
+        for ((w, &ci), fan) in winners.iter().enumerate().zip(fans) {
+            let cavity = &candidates[ci].1;
             stats.max_cavity = stats.max_cavity.max(cavity.len());
-            let cavity_set: HashSet<u32> = cavity.iter().copied().collect();
-
-            // Boundary edges: edges of cavity triangles whose neighbour is
-            // outside the cavity (or absent: the outer boundary).
-            let mut boundary: Vec<((u32, u32), u32, Option<u32>)> = Vec::new();
-            for &t in cavity {
-                let tri = mesh.triangle(t).clone();
-                mesh.charge_triangle_reads(1);
-                for i in 0..3 {
-                    let e = norm_edge(tri.v[i], tri.v[(i + 1) % 3]);
-                    let neighbor = mesh.neighbor_across(t, e);
-                    match neighbor {
-                        Some(n) if cavity_set.contains(&n) => {} // interior edge
-                        other => boundary.push((e, t, other)),
-                    }
-                }
-            }
-
-            // Kill the cavity, then grow the new fan around p.
+            round_max_path = round_max_path.max(depth::log2_ceil(cavity.len().max(2)));
             for &t in cavity {
                 mesh.kill_triangle(t);
             }
-            for (e, t, outside) in boundary {
-                let parent_outside = outside.unwrap_or(NO_TRI);
-                let t_new = mesh.create_triangle(e.0, e.1, p, [t, parent_outside]);
-
-                // New conflict list: survivors of E(t) ∪ E(t_o) that encroach
-                // the new triangle (line 15 of Algorithm 2).
-                let mut candidates: Vec<u32> = Vec::new();
-                if let Some(list) = conflicts.get(&t) {
-                    candidates.extend_from_slice(list);
-                }
-                if let Some(o) = outside {
-                    if let Some(list) = conflicts.get(&o) {
-                        candidates.extend_from_slice(list);
-                    }
-                }
-                candidates.sort_unstable();
-                candidates.dedup();
-                let new_list: Vec<u32> = candidates
-                    .into_iter()
-                    .filter(|&q| q != p && !winner_set.contains(&q) && mesh.encroaches(q, t_new))
-                    .collect();
-                if !new_list.is_empty() {
-                    record_writes(new_list.len() as u64);
-                    stats.conflict_entries_written += new_list.len() as u64;
-                    conflicts.insert(t_new, new_list);
+            debug_assert_eq!(u64::from(mesh.next_triangle_id() - base), fan_offsets[w]);
+            for pending in fan {
+                let id = mesh.install_oriented(pending.v, pending.parents);
+                if !pending.conflicts.is_empty() {
+                    record_writes(pending.conflicts.len() as u64);
+                    stats.conflict_entries_written += pending.conflicts.len() as u64;
+                    new_rows_tri.push(id);
+                    new_rows_pts.push(pending.conflicts);
                 }
             }
-            for &t in cavity {
-                conflicts.remove(&t);
-            }
-            round_max_path = round_max_path.max(depth::log2_ceil(cavity.len().max(2)));
         }
         stats.inserted += winners.len() as u64;
 
+        // Clear the owner marks of every candidate cavity (losing candidates'
+        // triangles stay alive and must not leak ownership into the next
+        // round), then roll the row table forward: surviving rows move (their
+        // lists are not rewritten — a pointer move, not a redistribution),
+        // new rows append in id order.
+        for (_, cavity) in &candidates {
+            for &t in cavity {
+                owner[t as usize].store(NONE, Ordering::Relaxed);
+            }
+        }
+        let mut kept_tri: Vec<u32> = Vec::with_capacity(rows_tri.len());
+        let mut kept_pts: Vec<Vec<u32>> = Vec::with_capacity(rows_pts.len());
+        for (i, &t) in rows_tri.iter().enumerate() {
+            if mesh.triangle(t).alive {
+                kept_tri.push(t);
+                kept_pts.push(std::mem::take(&mut rows_pts[i]));
+            }
+        }
+        kept_tri.extend_from_slice(&new_rows_tri);
+        kept_pts.append(&mut new_rows_pts);
+        rows_tri = kept_tri;
+        rows_pts = kept_pts;
+        grow_with_none(&mut row_of, mesh.history_size());
+        grow_with_none(&mut owner, mesh.history_size());
+
         // One round of the dependence DAG plus the (logarithmic) depth of
-        // nominating/grouping within the round.
+        // the widest cavity retriangulated within the round — the parallel
+        // round composes its per-winner chains by max, not by sum.  (The
+        // reservation scan adds its own O(log) structural depth.)
         depth::add(1 + round_max_path);
     }
     stats
@@ -280,5 +503,22 @@ mod tests {
         ta.sort_unstable();
         tb.sort_unstable();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn repeated_runs_record_identical_stats_and_arena() {
+        // In-process reproducibility: two runs over fresh meshes must agree
+        // on stats, arena layout and history size.  (RandomState-seeded maps
+        // would already diverge between two maps in the same process.)
+        let points = uniform_grid_points(300, 1 << 14, 19);
+        let run = || {
+            let mut mesh = TriMesh::new(&points);
+            let conflicts: Vec<(u32, u32)> =
+                (3..mesh.points.len() as u32).map(|p| (0, p)).collect();
+            let stats = insert_batch(&mut mesh, conflicts);
+            let arena: Vec<[u32; 3]> = mesh.triangles.iter().map(|t| t.v).collect();
+            (stats, arena, mesh.history_size())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -16,11 +16,10 @@
 //! encroached `t` or `t_o` — the traceable property that lets future batches
 //! locate their conflicts with reads only.
 
-use std::collections::HashMap;
-
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_geom::point::GridPoint;
 use pwe_geom::predicates::{in_circle, is_ccw, orient2d_det};
+use pwe_primitives::hash::DetHashMap;
 use pwe_trace::dag::TraceDag;
 
 /// Sentinel for "no triangle".
@@ -76,8 +75,9 @@ pub struct TriMesh {
     /// Triangle arena (alive and dead).
     pub triangles: Vec<Triangle>,
     /// For every undirected edge of an *alive* triangle, the one or two alive
-    /// triangles incident to it.
-    edge_map: HashMap<(u32, u32), [u32; 2]>,
+    /// triangles incident to it.  Deterministically hashed: the mesh promises
+    /// bit-identical behaviour (and instrumented totals) across processes.
+    edge_map: DetHashMap<(u32, u32), [u32; 2]>,
     /// Number of currently alive triangles.
     alive_count: usize,
 }
@@ -119,7 +119,7 @@ impl TriMesh {
         let mut mesh = TriMesh {
             points,
             triangles: vec![root],
-            edge_map: HashMap::new(),
+            edge_map: DetHashMap::default(),
             alive_count: 1,
         };
         record_writes(1);
@@ -220,22 +220,75 @@ impl TriMesh {
         record_writes(3);
     }
 
-    /// Create a new alive triangle on vertices `(a, b, apex)` (re-oriented to
-    /// CCW), with tracing-structure parents `parents`.  Returns its index.
-    pub fn create_triangle(&mut self, a: u32, b: u32, apex: u32, parents: [u32; 2]) -> u32 {
-        let (a, b) = if orient2d_det(
+    /// The id the arena will assign to the next triangle.
+    ///
+    /// The parallel engine uses this as the base of a **reserved id range**:
+    /// a prefix scan over per-winner fan sizes turns the base into one
+    /// disjoint id interval per winner, so the whole round's triangles can be
+    /// *constructed* in parallel (see [`Self::orient_ccw`]) and *committed*
+    /// in id order with no lock — and the arena layout is identical at every
+    /// thread count.
+    #[inline]
+    pub fn next_triangle_id(&self) -> u32 {
+        self.triangles.len() as u32
+    }
+
+    /// CCW-orient the vertex triple `(a, b, apex)` without touching the
+    /// arena.  Read-only, so the parallel construction phase can pre-orient
+    /// the triangles of a reserved id range.
+    #[inline]
+    pub fn orient_ccw(&self, a: u32, b: u32, apex: u32) -> [u32; 3] {
+        if orient2d_det(
             self.points[a as usize],
             self.points[b as usize],
             self.points[apex as usize],
         ) > 0
         {
-            (a, b)
+            [a, b, apex]
         } else {
-            (b, a)
-        };
+            [b, a, apex]
+        }
+    }
+
+    /// Whether point `p` is strictly inside the circumcircle of the
+    /// *uncommitted* triangle with (CCW) vertices `v` (one in-circle test =
+    /// one read).  Used by the engine to filter conflict lists for triangles
+    /// whose ids are reserved but not yet installed.
+    #[inline]
+    pub fn encroaches_tri(&self, p: u32, v: [u32; 3]) -> bool {
+        record_read();
+        in_circle(
+            self.points[v[0] as usize],
+            self.points[v[1] as usize],
+            self.points[v[2] as usize],
+            self.points[p as usize],
+        )
+    }
+
+    /// Create a new alive triangle on vertices `(a, b, apex)` (re-oriented to
+    /// CCW), with tracing-structure parents `parents`.  Returns its index.
+    pub fn create_triangle(&mut self, a: u32, b: u32, apex: u32, parents: [u32; 2]) -> u32 {
+        let v = self.orient_ccw(a, b, apex);
+        self.install_oriented(v, parents)
+    }
+
+    /// Commit a pre-oriented triangle to the arena (the second half of the
+    /// engine's reserve-and-commit round).  The id returned is always
+    /// [`Self::next_triangle_id`] at the time of the call, so committing a
+    /// round's triangles in reserved-id order reproduces exactly the ids the
+    /// reservation scan handed out.
+    pub fn install_oriented(&mut self, v: [u32; 3], parents: [u32; 2]) -> u32 {
+        debug_assert!(
+            orient2d_det(
+                self.points[v[0] as usize],
+                self.points[v[1] as usize],
+                self.points[v[2] as usize],
+            ) > 0,
+            "install_oriented requires CCW vertices"
+        );
         let idx = self.triangles.len() as u32;
         self.triangles.push(Triangle {
-            v: [a, b, apex],
+            v,
             parents,
             children: Vec::new(),
             alive: true,
@@ -408,6 +461,40 @@ mod tests {
             assert!(mesh.triangle(t).alive);
             assert!(mesh.encroaches(4, t));
         }
+    }
+
+    #[test]
+    fn reserve_and_commit_matches_create_triangle() {
+        let mut mesh = TriMesh::new(&square_points());
+        let root = mesh.triangle(0).v;
+        mesh.kill_triangle(0);
+        // Reserve: the next three ids are known before any mutation.
+        let base = mesh.next_triangle_id();
+        assert_eq!(base, 1);
+        // Construct (read-only): orientation and encroachment against
+        // uncommitted triangles.
+        let fans: Vec<[u32; 3]> = (0..3)
+            .map(|i| mesh.orient_ccw(root[i], root[(i + 1) % 3], 3))
+            .collect();
+        for (i, &v) in fans.iter().enumerate() {
+            assert_eq!(
+                mesh.encroaches_tri(4, v),
+                {
+                    // committed and uncommitted tests must agree
+                    let mut probe = mesh.clone();
+                    let t = probe.install_oriented(v, [0, NO_TRI]);
+                    probe.encroaches(4, t)
+                },
+                "fan {i}"
+            );
+        }
+        // Commit in id order: ids equal the reserved range.
+        for (i, &v) in fans.iter().enumerate() {
+            let id = mesh.install_oriented(v, [0, NO_TRI]);
+            assert_eq!(id, base + i as u32);
+        }
+        assert_eq!(mesh.alive_count(), 3);
+        assert_eq!(mesh.triangle(0).children.len(), 3);
     }
 
     #[test]

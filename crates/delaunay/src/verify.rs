@@ -17,9 +17,8 @@
 //! None of the verification work is charged to the cost model — it is not
 //! part of any algorithm.
 
-use std::collections::HashMap;
-
 use pwe_geom::predicates::{in_circle_det, is_ccw};
+use pwe_primitives::hash::DetHashMap;
 
 use crate::mesh::{norm_edge, TriMesh};
 
@@ -27,7 +26,7 @@ use crate::mesh::{norm_edge, TriMesh};
 /// found, if any.
 pub fn check_mesh_consistency(mesh: &TriMesh) -> Result<(), String> {
     let n = mesh.num_input_points();
-    let mut edge_count: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut edge_count: DetHashMap<(u32, u32), usize> = DetHashMap::default();
     let mut vertex_seen = vec![false; mesh.points.len()];
 
     let mut alive = 0usize;

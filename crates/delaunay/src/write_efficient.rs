@@ -6,7 +6,6 @@ use rayon::prelude::*;
 use pwe_asym::depth::RoundDepth;
 use pwe_geom::point::GridPoint;
 use pwe_primitives::permute::random_permutation;
-use pwe_primitives::semisort::semisort_by_key;
 use pwe_trace::prefix::prefix_doubling_rounds;
 
 use crate::engine::{insert_batch, InsertStats};
@@ -62,13 +61,14 @@ pub fn triangulate_write_efficient_with_stats(
             (first..last).map(|p| (0, p)).collect()
         } else {
             // Locate the batch against the current triangulation by tracing
-            // the history DAG (reads only), in parallel over the batch, then
-            // gather the conflicts per point with a semisort.  `mesh` is
-            // shared read-only across the pool's threads during the trace
-            // (`TriMesh` holds plain vectors, no interior mutability); the
-            // engine mutates it only in the sequential `insert_batch` below,
-            // and the semisort's deterministic group order keeps the
-            // triangle arena identical at every thread count.
+            // the history DAG (reads only), in parallel over the batch.
+            // `mesh` is shared read-only across the pool's threads during the
+            // trace (`TriMesh` holds plain vectors, no interior mutability);
+            // the engine below mutates it only in its commit step, runs its
+            // own rounds in parallel, and semisorts these pairs into
+            // per-triangle conflict lists itself — with a deterministic
+            // group order, so the triangle arena is identical at every
+            // thread count.
             let trace_depth = RoundDepth::new();
             let located: Vec<(u32, Vec<u32>)> = (first..last)
                 .into_par_iter()
@@ -81,15 +81,12 @@ pub fn triangulate_write_efficient_with_stats(
             stats.max_trace_path = stats.max_trace_path.max(trace_depth.current_max());
             trace_depth.commit();
 
-            // Flatten into (triangle, point) pairs; the semisort groups the
-            // pairs by triangle, which is how the conflict lists are formed
-            // with linear expected writes.
-            let pairs: Vec<(u32, u32)> = located
+            // Flatten into (triangle, point) pairs — the engine's semisort
+            // forms the conflict lists from these with linear expected writes.
+            located
                 .into_iter()
                 .flat_map(|(p, tris)| tris.into_iter().map(move |t| (t, p)))
-                .collect();
-            let grouped = semisort_by_key(&pairs, |(t, _)| *t);
-            grouped.into_iter().flat_map(|g| g.items).collect()
+                .collect()
         };
 
         let round_stats = insert_batch(&mut mesh, conflicts);

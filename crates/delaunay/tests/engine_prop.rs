@@ -1,0 +1,84 @@
+//! Property test: the parallel reserve-and-commit engine agrees with a
+//! straight-line sequential insertion.
+//!
+//! The reference below is the plainest possible randomized incremental
+//! construction — insert one point at a time, find its cavity by brute-force
+//! scanning every alive triangle, carve and refill it — with no rounds, no
+//! winner selection, no conflict lists and no tracing.  For points in general
+//! position the Delaunay triangulation is unique, so the engine (running all
+//! points in one batch, with its parallel rounds) must produce exactly the
+//! same set of real triangles.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pwe_delaunay::engine::insert_batch;
+use pwe_delaunay::mesh::{norm_edge, TriMesh, NO_TRI};
+use pwe_delaunay::verify::{check_delaunay_property, check_mesh_consistency};
+use pwe_geom::generators::uniform_grid_points;
+use pwe_geom::point::GridPoint;
+
+/// Straight-line Bowyer–Watson over the same mesh substrate: one point per
+/// step, cavity by exhaustive search, no engine machinery.
+fn sequential_reference(points: &[GridPoint]) -> TriMesh {
+    let mut mesh = TriMesh::new(points);
+    for p in 3..mesh.points.len() as u32 {
+        let cavity: Vec<u32> = mesh
+            .alive_triangles()
+            .filter(|&t| mesh.encroaches(p, t))
+            .collect();
+        assert!(!cavity.is_empty(), "point outside every circumcircle");
+        let cavity_set: BTreeSet<u32> = cavity.iter().copied().collect();
+        let mut boundary: Vec<((u32, u32), u32, u32)> = Vec::new();
+        for &t in &cavity {
+            let tri = mesh.triangle(t).clone();
+            for i in 0..3 {
+                let e = norm_edge(tri.v[i], tri.v[(i + 1) % 3]);
+                match mesh.neighbor_across(t, e) {
+                    Some(n) if cavity_set.contains(&n) => {} // interior edge
+                    Some(n) => boundary.push((e, t, n)),
+                    None => boundary.push((e, t, NO_TRI)),
+                }
+            }
+        }
+        for &t in &cavity {
+            mesh.kill_triangle(t);
+        }
+        for (e, t, outside) in boundary {
+            mesh.create_triangle(e.0, e.1, p, [t, outside]);
+        }
+    }
+    mesh
+}
+
+fn sorted_real_triangles(mesh: &TriMesh) -> Vec<[u32; 3]> {
+    let mut tris = mesh.real_triangles();
+    for t in &mut tris {
+        t.sort_unstable();
+    }
+    tris.sort_unstable();
+    tris
+}
+
+proptest! {
+    #[test]
+    fn prop_engine_matches_sequential_reference(n in 3usize..48, seed in 0u64..300) {
+        // A wide span keeps random grid points in general position (the
+        // uniqueness argument needs no four cocircular points).
+        let points = uniform_grid_points(n, 1 << 20, seed);
+
+        let reference = sequential_reference(&points);
+        check_mesh_consistency(&reference).expect("reference consistent");
+        check_delaunay_property(&reference, None).expect("reference Delaunay");
+
+        let mut mesh = TriMesh::new(&points);
+        let conflicts: Vec<(u32, u32)> = (3..mesh.points.len() as u32).map(|p| (0, p)).collect();
+        let stats = insert_batch(&mut mesh, conflicts);
+        prop_assert_eq!(stats.inserted as usize, n);
+        check_mesh_consistency(&mesh).expect("engine consistent");
+        check_delaunay_property(&mesh, None).expect("engine Delaunay");
+
+        prop_assert_eq!(sorted_real_triangles(&mesh), sorted_real_triangles(&reference));
+    }
+}

@@ -21,7 +21,11 @@
 //!   linear-write priority-search-tree construction.
 //! * [`merge`] — parallel merge of sorted sequences (used by the
 //!   write-inefficient merge-sort baseline and by bulk updates).
+//! * [`hash`] — a fixed-seed hasher ([`hash::DetState`]) for the few places
+//!   that still want a hash map on an instrumented path: `RandomState` would
+//!   make recorded totals differ from process to process.
 
+pub mod hash;
 pub mod merge;
 pub mod pack;
 pub mod permute;
@@ -30,6 +34,7 @@ pub mod scan;
 pub mod semisort;
 pub mod tournament;
 
+pub use hash::{DetHashMap, DetHashSet, DetState};
 pub use pack::{pack_flagged, pack_indices};
 pub use permute::{random_permutation, shuffle_in_place};
 pub use priority_write::{PriorityCell, PriorityIndex};

@@ -55,6 +55,20 @@ impl PriorityCell {
         }
     }
 
+    /// [`Self::write_min`] without touching the global ledger.
+    ///
+    /// For callers that account a whole reservation round in bulk (the
+    /// Delaunay engine charges one read per conflict-list entry for the
+    /// nomination scan and treats the reservation cells themselves as
+    /// per-round small-memory scratch): per-attempt charging would make the
+    /// recorded totals depend on which attempt happened to observe the
+    /// smaller value first — i.e. on the thread schedule.
+    #[inline]
+    pub fn write_min_untracked(&self, v: u64) -> bool {
+        let prev = self.value.fetch_min(v, Ordering::Relaxed);
+        v < prev
+    }
+
     /// Read the current value ([`EMPTY`] if never written).
     #[inline]
     pub fn load(&self) -> u64 {
@@ -78,6 +92,13 @@ impl PriorityCell {
         if self.value.swap(EMPTY, Ordering::Relaxed) != EMPTY {
             record_write();
         }
+    }
+
+    /// Reset to empty without touching the global ledger (see
+    /// [`Self::write_min_untracked`]).
+    #[inline]
+    pub fn clear_untracked(&self) {
+        self.value.store(EMPTY, Ordering::Relaxed);
     }
 }
 
@@ -110,6 +131,18 @@ impl PriorityIndex {
     #[inline]
     pub fn write_min(&self, i: usize, v: u64) -> bool {
         self.cells[i].write_min(v)
+    }
+
+    /// Priority-write without ledger charges (bulk-accounted callers).
+    #[inline]
+    pub fn write_min_untracked(&self, i: usize, v: u64) -> bool {
+        self.cells[i].write_min_untracked(v)
+    }
+
+    /// Reset cell `i` without ledger charges.
+    #[inline]
+    pub fn clear_untracked(&self, i: usize) {
+        self.cells[i].clear_untracked();
     }
 
     /// Read cell `i`.
@@ -172,6 +205,21 @@ mod tests {
             cell.load_untracked(),
             (0..1000u64).map(|i| i ^ 0x2a).min().unwrap()
         );
+    }
+
+    #[test]
+    fn untracked_ops_keep_write_min_semantics() {
+        // Ledger neutrality itself is pinned end-to-end by the Delaunay
+        // engine's schedule-independence test (tests/parallel_stress.rs),
+        // which would see differing totals if these ops charged anything;
+        // asserting the global counters here would race sibling unit tests.
+        let idx = PriorityIndex::new(4);
+        assert!(idx.write_min_untracked(1, 9));
+        assert!(!idx.write_min_untracked(1, 12));
+        assert!(idx.write_min_untracked(1, 2));
+        assert_eq!(idx.load_untracked(1), 2);
+        idx.clear_untracked(1);
+        assert_eq!(idx.load_untracked(1), EMPTY);
     }
 
     #[test]

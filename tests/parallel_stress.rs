@@ -19,6 +19,9 @@ use std::sync::Mutex;
 
 use pwe_asym::counters::CounterSnapshot;
 use pwe_asym::depth;
+use pwe_delaunay::verify::check_delaunay_property;
+use pwe_delaunay::write_efficient::triangulate_write_efficient_with_stats;
+use pwe_delaunay::{triangulate_baseline_with_stats, TriMesh};
 use pwe_kdtree::build::{build_p_batched, recommended_p};
 use pwe_primitives::scan::par_exclusive_scan;
 use pwe_primitives::semisort::semisort_by_key;
@@ -118,6 +121,47 @@ fn incremental_sort_counters_match_single_thread_run() {
         .map(|i| i.wrapping_mul(48_271) % 65_537)
         .collect();
     assert_schedule_independent("incremental_sort", || incremental_sort(&keys, 11));
+}
+
+/// Canonical form of a mesh for cross-schedule comparison: the sorted set of
+/// real triangles plus the exact arena layout (id → vertices).  The engine's
+/// reserve-and-commit rounds promise the arena is *identical* at every
+/// thread count, not merely equivalent.
+fn mesh_fingerprint(mesh: &TriMesh) -> (Vec<[u32; 3]>, Vec<[u32; 3]>, usize) {
+    let mut real = mesh.real_triangles();
+    for t in &mut real {
+        t.sort_unstable();
+    }
+    real.sort_unstable();
+    let arena: Vec<[u32; 3]> = mesh.triangles.iter().map(|t| t.v).collect();
+    (real, arena, mesh.alive_count())
+}
+
+/// The Delaunay engine's reserve-and-commit rounds: triangulation,
+/// `InsertStats` (rounds, inserted, conflict entries written, max cavity)
+/// and the read/write ledger must all be schedule-independent, and the mesh
+/// must be Delaunay.  Combined with the `RAYON_NUM_THREADS ∈ {1, 4}` CI
+/// matrix this pins the engine at both thread counts.
+#[test]
+fn delaunay_write_efficient_engine_counters_match_single_thread_run() {
+    let points = pwe_geom::generators::uniform_grid_points(4_000, 1 << 18, 77);
+    assert_schedule_independent("delaunay write-efficient engine", || {
+        let (mesh, stats) = triangulate_write_efficient_with_stats(&points, 13);
+        check_delaunay_property(&mesh, Some(200)).expect("Delaunay property");
+        (mesh_fingerprint(&mesh), stats)
+    });
+}
+
+/// Same for the all-points-at-once baseline, which exercises much larger
+/// rounds (every uninserted point participates in every round).
+#[test]
+fn delaunay_baseline_engine_counters_match_single_thread_run() {
+    let points = pwe_geom::generators::uniform_grid_points(2_500, 1 << 18, 78);
+    assert_schedule_independent("delaunay baseline engine", || {
+        let (mesh, stats) = triangulate_baseline_with_stats(&points, 13);
+        check_delaunay_property(&mesh, Some(200)).expect("Delaunay property");
+        (mesh_fingerprint(&mesh), stats.insert)
+    });
 }
 
 /// The pool really runs `join` branches on distinct OS threads (acceptance
