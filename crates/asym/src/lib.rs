@@ -22,8 +22,12 @@
 //!   computations, so the depth columns of the paper's theorems can be
 //!   measured rather than merely cited.
 //! * [`smallmem`] — a ledger for the size of the symmetric small-memory a
-//!   task uses, so tests can assert the `O(log n)` / `Ω(p)` small-memory
-//!   assumptions of Theorems 3.1, 6.1 and 7.1.
+//!   task uses: algorithms charge their per-task scratch through a
+//!   [`smallmem::TaskScratch`] RAII guard, and the per-crate
+//!   `small_memory_*` tests assert the `O(log n)` / `O(D(G))` / `Ω(p)`
+//!   small-memory assumptions of Theorems 3.1, 6.1 and 7.1 against the
+//!   recorded high-water mark.  Gated behind the default-on `ledger`
+//!   feature; a build without it pays nothing.
 //! * [`parallel`] — thin fork-join helpers over rayon (the model's
 //!   work-stealing scheduler) that compose with the depth tracker.
 //!
@@ -56,6 +60,7 @@ pub mod tracked;
 pub use cost::{measure, CostReport, Omega};
 pub use counters::{record_read, record_reads, record_write, record_writes, CounterSnapshot};
 pub use depth::DepthTracker;
+pub use smallmem::{ScratchReport, SmallMem, TaskScratch};
 pub use tracked::TrackedVec;
 
 /// Convenience prelude for algorithm crates.

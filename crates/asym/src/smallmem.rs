@@ -10,9 +10,44 @@
 //! ledger to be correct — it exists so that tests and the experiment harness
 //! can *assert* that the per-task scratch an algorithm claims to use really
 //! is within the stated small-memory budget.  An algorithm declares a budget
-//! with [`SmallMem::with_budget`] and charges its per-task scratch against it;
-//! exceeding the budget is reported (and in debug builds, panics), which is
-//! how the `small_memory_*` tests pin the paper's assumptions.
+//! with [`SmallMem::with_budget`] (or [`SmallMem::logarithmic`]) and each of
+//! its parallel tasks charges its own scratch through a [`TaskScratch`]
+//! guard; the ledger's [`SmallMem::high_water`] then holds the largest
+//! simultaneous scratch any single task ever used, which is exactly the
+//! per-task quantity the model bounds.  The `small_memory_*` tier-1 tests
+//! pin `high_water() ≤ c·log₂ n` (or the stated `O(D)`/`Ω(p)` exception) at
+//! two input sizes per algorithm crate, so a super-logarithmic scratch
+//! regression fails the suite.
+//!
+//! Charging is deliberately **schedule-independent**: a [`TaskScratch`]
+//! accumulates the words its task holds locally and only folds the running
+//! per-task total into the shared high-water mark with a `fetch_max`, so the
+//! recorded value is a max over tasks — identical at every thread count and
+//! across processes.  (A shared running *sum* would instead depend on which
+//! tasks happened to overlap in time.)
+//!
+//! With the `ledger` cargo feature disabled (`default-features = false` on
+//! `pwe-asym`) every [`TaskScratch`] operation compiles to a no-op, so
+//! production builds pay nothing for the instrumentation.
+//!
+//! ```
+//! use pwe_asym::smallmem::{SmallMem, TaskScratch};
+//!
+//! // A task of an algorithm over n = 1024 elements claims O(log n) scratch.
+//! # #[cfg(feature = "ledger")]
+//! # {
+//! let ledger = SmallMem::logarithmic(1024, 4);
+//! {
+//!     let mut scratch = TaskScratch::new(&ledger);
+//!     scratch.alloc(8); // e.g. push 8 words onto an explicit stack
+//!     scratch.alloc(2);
+//!     scratch.free(6); // pop some of it again
+//!     assert_eq!(scratch.held(), 4);
+//! } // guard dropped: the task's scratch is released
+//! assert_eq!(ledger.high_water(), 10); // the peak, not the residue
+//! assert!(ledger.within_budget());
+//! # }
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,6 +57,33 @@ pub struct SmallMem {
     budget: u64,
     used: AtomicU64,
     high_water: AtomicU64,
+}
+
+/// A snapshot of a ledger's budget and observed high-water mark, embedded in
+/// the algorithm crates' statistics structs so callers (and the experiment
+/// harness) can report per-algorithm small-memory usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchReport {
+    /// The declared budget in words (0 when no ledger was wired).
+    pub budget: u64,
+    /// Largest simultaneous per-task scratch observed, in words.
+    pub high_water: u64,
+}
+
+impl ScratchReport {
+    /// Whether the observed usage stayed within the declared budget.
+    pub fn within_budget(&self) -> bool {
+        self.high_water <= self.budget
+    }
+
+    /// Merge two reports from independently-ledgered regions (budgets and
+    /// high-water marks both compose by max: the claim is per task).
+    pub fn merge_max(&self, other: &ScratchReport) -> ScratchReport {
+        ScratchReport {
+            budget: self.budget.max(other.budget),
+            high_water: self.high_water.max(other.high_water),
+        }
+    }
 }
 
 impl SmallMem {
@@ -41,6 +103,10 @@ impl SmallMem {
     }
 
     /// Charge `words` of scratch; returns `true` if the budget still holds.
+    ///
+    /// This is the *shared-usage* entry point for sequential regions (a
+    /// single task charging a single ledger).  Parallel tasks should use a
+    /// [`TaskScratch`] guard instead, which keeps per-task totals.
     ///
     /// In debug builds an over-budget charge panics so tests catch it.
     pub fn charge(&self, words: u64) -> bool {
@@ -64,12 +130,28 @@ impl SmallMem {
             .ok();
     }
 
+    /// Fold one task's current simultaneous scratch usage into the ledger's
+    /// high-water mark; returns `true` if it fits the budget.
+    ///
+    /// Unlike [`SmallMem::charge`] this does **not** touch the shared `used`
+    /// counter (the quantity bounded by the model is per task, and a shared
+    /// sum over concurrently-running tasks would be schedule-dependent), and
+    /// it does not panic: the `small_memory_*` tests assert the budget
+    /// explicitly so that a whp bound exceeded on an adversarial input
+    /// surfaces as a test failure, not a debug abort in unrelated code.
+    #[inline]
+    pub fn observe_task(&self, words: u64) -> bool {
+        self.high_water.fetch_max(words, Ordering::Relaxed);
+        words <= self.budget
+    }
+
     /// The budget in words.
     pub fn budget(&self) -> u64 {
         self.budget
     }
 
-    /// Maximum simultaneous usage observed so far.
+    /// Maximum simultaneous usage observed so far (per task when charged via
+    /// [`TaskScratch`], shared when charged via [`SmallMem::charge`]).
     pub fn high_water(&self) -> u64 {
         self.high_water.load(Ordering::Relaxed)
     }
@@ -77,6 +159,118 @@ impl SmallMem {
     /// Whether usage has stayed within the budget so far.
     pub fn within_budget(&self) -> bool {
         self.high_water() <= self.budget
+    }
+
+    /// Snapshot the budget and high-water mark for a statistics struct.
+    pub fn report(&self) -> ScratchReport {
+        ScratchReport {
+            budget: self.budget,
+            high_water: self.high_water(),
+        }
+    }
+}
+
+/// RAII guard for one task's symmetric-memory scratch.
+///
+/// Create one guard per parallel task (one per `par_iter` item, one per
+/// fork-join branch chain), [`TaskScratch::alloc`] when the task grows its
+/// scratch (an explicit stack push, a boundary-edge buffer entry, a settle
+/// buffer) and [`TaskScratch::free`] when it shrinks again; dropping the
+/// guard releases whatever is still held.  The enclosing [`SmallMem`] only
+/// ever sees the *maximum simultaneous* words of any single task, which is
+/// the per-task bound the paper's small-memory assumptions state.
+///
+/// [`TaskScratch::untracked`] is a no-ledger guard for call paths that share
+/// code with ledgered ones; with the `ledger` cargo feature disabled, every
+/// operation on every guard is a no-op.
+#[derive(Debug)]
+pub struct TaskScratch<'a> {
+    #[cfg(feature = "ledger")]
+    ledger: Option<&'a SmallMem>,
+    #[cfg(feature = "ledger")]
+    held: u64,
+    #[cfg(not(feature = "ledger"))]
+    _marker: std::marker::PhantomData<&'a SmallMem>,
+}
+
+impl<'a> TaskScratch<'a> {
+    /// A guard charging this task's scratch against `ledger`.
+    #[inline]
+    pub fn new(ledger: &'a SmallMem) -> Self {
+        #[cfg(feature = "ledger")]
+        {
+            TaskScratch {
+                ledger: Some(ledger),
+                held: 0,
+            }
+        }
+        #[cfg(not(feature = "ledger"))]
+        {
+            let _ = ledger;
+            TaskScratch {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// A guard that records nothing (for unledgered call paths).
+    #[inline]
+    pub fn untracked() -> TaskScratch<'static> {
+        #[cfg(feature = "ledger")]
+        {
+            TaskScratch {
+                ledger: None,
+                held: 0,
+            }
+        }
+        #[cfg(not(feature = "ledger"))]
+        {
+            TaskScratch {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Charge `words` of additional task scratch.
+    #[inline]
+    pub fn alloc(&mut self, words: u64) {
+        #[cfg(feature = "ledger")]
+        {
+            if let Some(ledger) = self.ledger {
+                self.held += words;
+                ledger.observe_task(self.held);
+            }
+        }
+        #[cfg(not(feature = "ledger"))]
+        {
+            let _ = words;
+        }
+    }
+
+    /// Release `words` of task scratch (e.g. popping an explicit stack).
+    #[inline]
+    pub fn free(&mut self, words: u64) {
+        #[cfg(feature = "ledger")]
+        {
+            self.held = self.held.saturating_sub(words);
+        }
+        #[cfg(not(feature = "ledger"))]
+        {
+            let _ = words;
+        }
+    }
+
+    /// Words currently held by this task (0 with the feature disabled).
+    #[inline]
+    pub fn held(&self) -> u64 {
+        #[cfg(feature = "ledger")]
+        {
+            self.held
+        }
+        #[cfg(not(feature = "ledger"))]
+        {
+            0
+        }
     }
 }
 
@@ -116,5 +310,73 @@ mod tests {
         mem.release(100);
         assert!(mem.charge(4));
         assert!(mem.within_budget());
+    }
+
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn task_scratch_folds_per_task_max() {
+        let mem = SmallMem::with_budget(32);
+        // Two "tasks": the ledger must record the largest single-task peak,
+        // not the sum of the tasks' peaks.
+        {
+            let mut a = TaskScratch::new(&mem);
+            a.alloc(10);
+            a.free(4);
+            a.alloc(2);
+            assert_eq!(a.held(), 8);
+        }
+        {
+            let mut b = TaskScratch::new(&mem);
+            b.alloc(7);
+        }
+        assert_eq!(mem.high_water(), 10);
+        assert!(mem.within_budget());
+        assert_eq!(
+            mem.report(),
+            ScratchReport {
+                budget: 32,
+                high_water: 10
+            }
+        );
+    }
+
+    #[test]
+    fn untracked_guard_records_nothing() {
+        let mut scratch = TaskScratch::untracked();
+        scratch.alloc(1_000_000);
+        scratch.free(10);
+        // No ledger: nothing is accumulated, nothing can overflow.
+        assert_eq!(scratch.held(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn observe_task_reports_overflow_without_panicking() {
+        let mem = SmallMem::with_budget(4);
+        assert!(!mem.observe_task(9));
+        assert_eq!(mem.high_water(), 9);
+        assert!(!mem.within_budget());
+        assert!(!mem.report().within_budget());
+    }
+
+    #[test]
+    fn scratch_reports_merge_by_max() {
+        let a = ScratchReport {
+            budget: 10,
+            high_water: 3,
+        };
+        let b = ScratchReport {
+            budget: 8,
+            high_water: 7,
+        };
+        let m = a.merge_max(&b);
+        assert_eq!(
+            m,
+            ScratchReport {
+                budget: 10,
+                high_water: 7
+            }
+        );
+        assert!(m.within_budget());
     }
 }

@@ -358,9 +358,25 @@ impl IntervalTree {
     /// 1D stabbing query: ids of all stored intervals containing `x`,
     /// in ascending id order.
     pub fn stab(&self, x: f64) -> Vec<u64> {
+        self.stab_scratch(x, &mut pwe_asym::smallmem::TaskScratch::untracked())
+    }
+
+    /// [`IntervalTree::stab`], charging the query task's symmetric scratch —
+    /// one word per level of the root-to-leaf descent, `O(log n)` on a
+    /// post-sorted (balanced) tree — against a small-memory ledger via
+    /// `scratch`.  The reported intervals themselves are output writes to
+    /// the large memory, not scratch.
+    pub fn stab_scratch(
+        &self,
+        x: f64,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) -> Vec<u64> {
         let mut out = Vec::new();
         let mut cur = self.root;
+        let mut levels = 0u64;
         while cur != EMPTY {
+            scratch.alloc(1);
+            levels += 1;
             record_read();
             let node = &self.nodes[cur];
             if x <= node.key {
@@ -383,6 +399,9 @@ impl IntervalTree {
                 cur = node.right;
             }
         }
+        // The path is released when the descent ends, so a guard reused
+        // across queries sees each descent's peak, not their sum.
+        scratch.free(levels);
         record_writes(out.len() as u64);
         out.sort_unstable();
         out

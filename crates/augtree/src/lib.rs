@@ -21,15 +21,25 @@
 //!   repaired by rebuilding the offending subtree with the post-sorted
 //!   construction (Table 1, Theorems 7.3 / 7.4).
 //!
-//! Modules: [`alpha`] (the labeling rule and the optimal-α formula),
-//! [`interval`] (interval tree, 1D stabbing queries), [`priority`] (priority
-//! search tree, 3-sided queries), [`range_tree`] (2D range tree, orthogonal
-//! range queries).
+//! Modules: [`alpha`] (the §7.3.1 labeling rule and the optimal-α formula),
+//! [`interval`] (§7.2 interval tree, 1D stabbing queries), [`priority`]
+//! (§7.2 priority search tree, 3-sided queries), [`range_tree`] (§7.2–7.3
+//! 2D range tree, orthogonal range queries).  Every query path has a
+//! `*_scratch` variant charging its root-to-leaf frames to a small-memory
+//! ledger against the [`QUERY_SCRATCH_C`]`·log₂ n` budget of Theorem 7.1.
 
 pub mod alpha;
 pub mod interval;
 pub mod priority;
 pub mod range_tree;
+
+/// Small-memory budget constant for the query paths: a query task's scratch
+/// is its root-to-leaf path (one word per frame), `O(log n)` on the
+/// post-sorted balanced trees of Section 7.2, so `6·log₂ n` words bounds it
+/// with slack (asserted by the `small_memory_*` tests in
+/// `tests/small_memory.rs`; the range tree gets an extra `O(α)` term for the
+/// critical-descendant descent of Corollary 7.1).
+pub const QUERY_SCRATCH_C: u64 = 6;
 
 pub use alpha::{is_critical_weight, optimal_alpha};
 pub use interval::IntervalTree;

@@ -230,6 +230,25 @@ impl PrioritySearchTree {
     /// 3-sided query: ids of all points with `x ∈ [x_lo, x_hi]` and
     /// `y ≥ y_bot`, in ascending id order.
     pub fn query_3sided(&self, x_lo: f64, x_hi: f64, y_bot: f64) -> Vec<u64> {
+        self.query_3sided_scratch(
+            x_lo,
+            x_hi,
+            y_bot,
+            &mut pwe_asym::smallmem::TaskScratch::untracked(),
+        )
+    }
+
+    /// [`PrioritySearchTree::query_3sided`], charging the recursion frames —
+    /// one word each, peak `O(height)` = `O(log n)` on a post-sorted tree —
+    /// against a small-memory ledger via `scratch`.  The reported ids are
+    /// output writes to the large memory, not scratch.
+    pub fn query_3sided_scratch(
+        &self,
+        x_lo: f64,
+        x_hi: f64,
+        y_bot: f64,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) -> Vec<u64> {
         let mut out = Vec::new();
         self.query_rec(
             self.root,
@@ -239,6 +258,7 @@ impl PrioritySearchTree {
             f64::NEG_INFINITY,
             f64::INFINITY,
             &mut out,
+            scratch,
         );
         record_writes(out.len() as u64);
         out.sort_unstable();
@@ -255,23 +275,42 @@ impl PrioritySearchTree {
         range_lo: f64,
         range_hi: f64,
         out: &mut Vec<u64>,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
     ) {
         if v == EMPTY || range_lo > x_hi || range_hi < x_lo {
             return;
         }
+        scratch.alloc(1);
         record_read();
         let node = &self.nodes[v];
-        let Some(item) = node.item else { return };
         // Heap order: if even this subtree's best priority is below the
         // threshold, nothing below can qualify.
-        if item.point.y() < y_bot {
-            return;
+        if let Some(item) = node.item.filter(|item| item.point.y() >= y_bot) {
+            if item.point.x() >= x_lo && item.point.x() <= x_hi {
+                out.push(item.id);
+            }
+            self.query_rec(
+                node.left,
+                x_lo,
+                x_hi,
+                y_bot,
+                range_lo,
+                node.splitter,
+                out,
+                scratch,
+            );
+            self.query_rec(
+                node.right,
+                x_lo,
+                x_hi,
+                y_bot,
+                node.splitter,
+                range_hi,
+                out,
+                scratch,
+            );
         }
-        if item.point.x() >= x_lo && item.point.x() <= x_hi {
-            out.push(item.id);
-        }
-        self.query_rec(node.left, x_lo, x_hi, y_bot, range_lo, node.splitter, out);
-        self.query_rec(node.right, x_lo, x_hi, y_bot, node.splitter, range_hi, out);
+        scratch.free(1);
     }
 
     /// Insert a point: sift down by priority along the splitter path

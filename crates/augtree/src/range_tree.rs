@@ -184,46 +184,80 @@ impl RangeTree2D {
 
     /// Orthogonal range query: ids of live points inside `rect`, ascending.
     pub fn query(&self, rect: &Rect) -> Vec<u64> {
+        self.query_scratch(rect, &mut pwe_asym::smallmem::TaskScratch::untracked())
+    }
+
+    /// [`RangeTree2D::query`], charging the recursion frames — one word
+    /// each, peak `O(height)` plus the `O(α)` critical-descendant descent
+    /// (Corollary 7.1) — against a small-memory ledger via `scratch`.
+    /// The reported ids are output writes, not scratch.
+    pub fn query_scratch(
+        &self,
+        rect: &Rect,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) -> Vec<u64> {
         let mut out = Vec::new();
         if self.root != EMPTY {
-            self.query_rec(self.root, rect, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+            self.query_rec(
+                self.root,
+                rect,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                &mut out,
+                scratch,
+            );
         }
         record_writes(out.len() as u64);
         out.sort_unstable();
         out
     }
 
-    fn query_rec(&self, v: usize, rect: &Rect, lo: f64, hi: f64, out: &mut Vec<u64>) {
+    fn query_rec(
+        &self,
+        v: usize,
+        rect: &Rect,
+        lo: f64,
+        hi: f64,
+        out: &mut Vec<u64>,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) {
         if v == EMPTY || lo > rect.x_max || hi < rect.x_min {
             return;
         }
+        scratch.alloc(1);
         record_read();
         let node = &self.nodes[v];
         if let Some(p) = node.leaf {
             if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
                 out.push(p.id);
             }
-            return;
+        } else if rect.x_min <= lo && hi <= rect.x_max {
+            // The node's x-range is entirely inside the query: answer from
+            // the inner structure (or, on a secondary node, from the inner
+            // structures of its maximal critical descendants).
+            self.report_y_range(v, rect, out, scratch);
+        } else {
+            self.query_rec(node.left, rect, lo, node.split, out, scratch);
+            self.query_rec(node.right, rect, node.split, hi, out, scratch);
         }
-        // If the node's x-range is entirely inside the query, answer from the
-        // inner structure (or, on a secondary node, from the inner structures
-        // of its maximal critical descendants).
-        if rect.x_min <= lo && hi <= rect.x_max {
-            self.report_y_range(v, rect, out);
-            return;
-        }
-        self.query_rec(node.left, rect, lo, node.split, out);
-        self.query_rec(node.right, rect, node.split, hi, out);
+        scratch.free(1);
     }
 
     /// Report the points of `v`'s subtree whose y lies in the query's y-range
     /// (x is already known to be inside).  Critical nodes answer from their
     /// inner structure; secondary nodes delegate to their maximal critical
     /// descendants (at most `O(α)` levels down, Corollary 7.1).
-    fn report_y_range(&self, v: usize, rect: &Rect, out: &mut Vec<u64>) {
+    fn report_y_range(
+        &self,
+        v: usize,
+        rect: &Rect,
+        out: &mut Vec<u64>,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) {
         if v == EMPTY {
             return;
         }
+        scratch.alloc(1);
         record_read();
         let node = &self.nodes[v];
         if let Some(inner) = &node.inner {
@@ -234,16 +268,15 @@ impl RangeTree2D {
                     out.push(p.id);
                 }
             }
-            return;
-        }
-        if let Some(p) = node.leaf {
+        } else if let Some(p) = node.leaf {
             if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
                 out.push(p.id);
             }
-            return;
+        } else {
+            self.report_y_range(node.left, rect, out, scratch);
+            self.report_y_range(node.right, rect, out, scratch);
         }
-        self.report_y_range(node.left, rect, out);
-        self.report_y_range(node.right, rect, out);
+        scratch.free(1);
     }
 
     /// Insert a point.  Touches the inner structures of the `O(log_α n)`

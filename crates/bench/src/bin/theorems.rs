@@ -1,12 +1,16 @@
 //! Reproduce the main theorems' cost claims: Theorem 4.1 (sorting),
 //! Theorem 5.1 (Delaunay triangulation) and Theorem 6.1 (k-d trees), each as
 //! "baseline vs write-efficient" with measured reads, writes and ω-weighted
-//! work.
+//! work, plus the small-memory assumptions of Theorems 3.1/6.1/7.1 as a
+//! per-algorithm ledger report (`--exp smallmem`).
 //!
 //! Usage: `cargo run --release -p pwe-bench --bin theorems [-- --exp all --n 50000]`
 
 use pwe_asym::cost::Omega;
-use pwe_bench::{delaunay_experiment, kdtree_experiment, print_table, sort_experiment};
+use pwe_bench::{
+    delaunay_experiment, kdtree_experiment, print_smallmem_table, print_table, smallmem_experiment,
+    sort_experiment,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,27 +20,43 @@ fn main() {
         None => Omega::paper_sweep(),
     };
 
-    for omega in &omegas {
-        println!("\n################ {omega} ################");
-        if exp == "all" || exp == "sort" {
-            let n = arg_value(&args, "--n").unwrap_or(100_000);
-            print_table("Theorem 4.1 — comparison sort", &sort_experiment(n, *omega));
-        }
-        if exp == "all" || exp == "delaunay" {
-            let n = arg_value(&args, "--n").unwrap_or(100_000).min(20_000);
-            print_table(
-                "Theorem 5.1 — planar Delaunay triangulation",
-                &delaunay_experiment(n, *omega),
-            );
-        }
-        if exp == "all" || exp == "kdtree" {
-            let n = arg_value(&args, "--n").unwrap_or(100_000);
-            let (rows, notes) = kdtree_experiment(n, *omega);
-            print_table("Theorem 6.1 — k-d tree construction (p ablation)", &rows);
-            for note in notes {
-                println!("    {note}");
+    let cost_exps = exp == "all" || ["sort", "delaunay", "kdtree"].contains(&exp.as_str());
+    if cost_exps {
+        for omega in &omegas {
+            println!("\n################ {omega} ################");
+            if exp == "all" || exp == "sort" {
+                let n = arg_value(&args, "--n").unwrap_or(100_000);
+                print_table("Theorem 4.1 — comparison sort", &sort_experiment(n, *omega));
+            }
+            if exp == "all" || exp == "delaunay" {
+                let n = arg_value(&args, "--n").unwrap_or(100_000).min(20_000);
+                print_table(
+                    "Theorem 5.1 — planar Delaunay triangulation",
+                    &delaunay_experiment(n, *omega),
+                );
+            }
+            if exp == "all" || exp == "kdtree" {
+                let n = arg_value(&args, "--n").unwrap_or(100_000);
+                let (rows, notes) = kdtree_experiment(n, *omega);
+                print_table("Theorem 6.1 — k-d tree construction (p ablation)", &rows);
+                for note in notes {
+                    println!("    {note}");
+                }
             }
         }
+    } else if exp != "smallmem" {
+        eprintln!("unknown --exp {exp:?}; expected all, sort, delaunay, kdtree or smallmem");
+        std::process::exit(2);
+    }
+
+    // The small-memory ledger is ω-independent (symmetric accesses are free
+    // at every ω), so it is reported once, outside the ω sweep.
+    if exp == "all" || exp == "smallmem" {
+        let n = arg_value(&args, "--n").unwrap_or(100_000);
+        print_smallmem_table(
+            "Small-memory assumptions (Thms 3.1/4.1/5.1/6.1/7.1) — per-task high water",
+            &smallmem_experiment(n),
+        );
     }
 }
 

@@ -1,14 +1,19 @@
 //! Experiment harness shared by the `table1` / `theorems` binaries and the
 //! criterion benches.
 //!
-//! Every function runs one of the paper's experiments (see DESIGN.md,
-//! "Experiment index"), measures reads/writes/depth with [`pwe_asym`], and
-//! returns printable rows.  The absolute numbers are implementation
-//! constants; what the experiments are expected to reproduce is the *shape*
-//! of the paper's claims — which variant writes less, by roughly what
-//! factor, and how the trade-off moves with α and ω.
+//! Every function runs one of the paper's experiments — the theorem
+//! baselines vs write-efficient pairs of §4 (sort), §5 (Delaunay) and §6
+//! (k-d trees), the §7 tree constructions with their α sweeps, and the
+//! small-memory ledger report of [`smallmem_experiment`] — measures
+//! reads/writes/depth with [`pwe_asym`], and returns printable rows.  The
+//! absolute numbers are implementation constants; what the experiments are
+//! expected to reproduce is the *shape* of the paper's claims — which
+//! variant writes less, by roughly what factor, and how the trade-off moves
+//! with α and ω.  The machine-readable counterpart is the `speedup` binary,
+//! whose JSON schema is specified in the repo-root `MODEL.md`.
 
 use pwe_asym::cost::{measure, CostReport, Omega};
+use pwe_asym::smallmem::{ScratchReport, SmallMem, TaskScratch};
 use pwe_augtree::interval::IntervalTree;
 use pwe_augtree::priority::{PrioritySearchTree, PsPoint};
 use pwe_augtree::range_tree::{RangeTree2D, RtPoint};
@@ -19,7 +24,8 @@ use pwe_geom::generators::{
 };
 use pwe_geom::interval::Interval;
 use pwe_kdtree::build::{build_classic, build_p_batched, recommended_p};
-use pwe_sort::{incremental_sort, merge_sort_baseline};
+use pwe_sort::{incremental_sort, merge_sort_baseline, merge_sort_baseline_with_scratch};
+use pwe_trace::trace_collect_scratch;
 use rand::Rng;
 use rand::SeedableRng;
 
@@ -303,6 +309,133 @@ pub fn range_tree_experiment(n: usize, alphas: &[usize], omega: Omega) -> Vec<Ro
     rows
 }
 
+/// One row of the small-memory report: an algorithm's declared per-task
+/// budget against the high-water mark its ledger actually observed.
+#[derive(Debug, Clone)]
+pub struct SmallMemRow {
+    /// Algorithm / phase label.
+    pub label: String,
+    /// Problem size.
+    pub n: usize,
+    /// The stated bound ("c·log2 n", "Ω(p)", "O(D)").
+    pub bound: &'static str,
+    /// Ledger snapshot (budget + high water).
+    pub scratch: ScratchReport,
+}
+
+impl SmallMemRow {
+    /// Render the row for the plain-text table.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<26} n={:<9} bound={:<10} budget={:>6} words   high_water={:>6} words   {}",
+            self.label,
+            self.n,
+            self.bound,
+            self.scratch.budget,
+            self.scratch.high_water,
+            if self.scratch.within_budget() {
+                "ok"
+            } else {
+                "OVER BUDGET"
+            }
+        )
+    }
+}
+
+/// Print a small-memory table.
+pub fn print_smallmem_table(title: &str, rows: &[SmallMemRow]) {
+    println!("== {title} ==");
+    for row in rows {
+        println!("  {}", row.render());
+    }
+}
+
+/// Exercise every algorithm crate's small-memory ledger at size `n` and
+/// report each declared budget against the observed per-task high-water
+/// mark — the machine-checked form of the paper's small-memory assumptions
+/// (Theorems 3.1, 4.1, 5.1, 6.1, 7.1).
+pub fn smallmem_experiment(n: usize) -> Vec<SmallMemRow> {
+    let mut rows = Vec::new();
+
+    // Sorting (Theorem 4.1): O(log n) words per task.
+    let keys = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        (0..n).map(|_| rng.gen::<u64>()).collect::<Vec<u64>>()
+    };
+    let (_, merge_scratch) = merge_sort_baseline_with_scratch(&keys);
+    rows.push(SmallMemRow {
+        label: "mergesort baseline".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: merge_scratch,
+    });
+    let (_, sort_stats) = pwe_sort::incremental_sort_with_stats(&keys, 7);
+    rows.push(SmallMemRow {
+        label: "incremental sort".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: sort_stats.scratch,
+    });
+
+    // Delaunay engine (Theorem 5.1): O(log n) words per cavity task.
+    let dn = n.min(20_000);
+    let points = uniform_grid_points(dn, 1 << 20, 3);
+    let (mesh, dt_stats) = pwe_delaunay::triangulate_write_efficient_with_stats(&points, 5);
+    rows.push(SmallMemRow {
+        label: "delaunay engine (WE)".into(),
+        n: dn,
+        bound: "c*log2 n",
+        scratch: dt_stats.insert.scratch,
+    });
+
+    // k-d tree (Theorem 6.1): classic O(log n); p-batched Ω(p).
+    let pts2 = uniform_points_2d(n, 11);
+    let (_, classic_stats) = pwe_kdtree::build::build_classic_with_stats(&pts2, 16);
+    rows.push(SmallMemRow {
+        label: "kd classic build".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: classic_stats.scratch,
+    });
+    let (_, batched_stats) = build_p_batched(&pts2, recommended_p(n), 16, 13);
+    rows.push(SmallMemRow {
+        label: "kd p-batched build".into(),
+        n,
+        bound: "Omega(p)",
+        scratch: batched_stats.scratch,
+    });
+
+    // Augmented-tree query paths (Theorem 7.1): O(log n) words per query.
+    let intervals = random_intervals(n, 1e6, 200.0, 17);
+    let tree = IntervalTree::build_presorted(&intervals, 2);
+    let ledger = SmallMem::logarithmic(n, pwe_augtree::QUERY_SCRATCH_C);
+    for &q in &stabbing_queries(64, 1e6, 19) {
+        let mut scratch = TaskScratch::new(&ledger);
+        tree.stab_scratch(q, &mut scratch);
+    }
+    rows.push(SmallMemRow {
+        label: "interval stab queries".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: ledger.report(),
+    });
+
+    // DAG tracing (Theorem 3.1): O(D(G)) words — the Delaunay history DAG
+    // built above bounds the trace stack by its longest path.
+    let depth_bound = 4 * (pwe_asym::depth::log2_ceil(dn.max(2)) + 1);
+    let trace_ledger = SmallMem::with_budget(4 * depth_bound);
+    let elements: Vec<u32> = (3..(dn as u32 + 3).min(259)).collect();
+    trace_collect_scratch(&mesh, &elements, Some(&trace_ledger));
+    rows.push(SmallMemRow {
+        label: "DAG tracing (history)".into(),
+        n: dn,
+        bound: "O(D(G))",
+        scratch: trace_ledger.report(),
+    });
+
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +463,20 @@ mod tests {
         assert_eq!(notes.len(), 5);
         // The paper's p = Θ(log³ n) setting writes less than the classic build.
         assert!(rows.last().unwrap().report.writes < rows[0].report.writes);
+    }
+
+    #[test]
+    fn smallmem_experiment_within_every_budget() {
+        for row in smallmem_experiment(3_000) {
+            assert!(row.scratch.high_water > 0, "{} ledger is dead", row.label);
+            assert!(
+                row.scratch.within_budget(),
+                "{} used {} of {} scratch words",
+                row.label,
+                row.scratch.high_water,
+                row.scratch.budget,
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! The library provides, under one roof:
 //!
 //! * the **Asymmetric NP cost model** ([`asym`]) — instrumented read/write
-//!   counters, `work = reads + ω·writes`, structural depth;
+//!   counters, `work = reads + ω·writes`, structural depth, and the
+//!   small-memory ledger whose per-task budgets the `small_memory_*` tests
+//!   pin (see the repo-root `MODEL.md`);
 //! * the **parallel primitives** the paper relies on ([`primitives`]) —
 //!   scans, packing, semisort, random permutations, priority writes,
 //!   tournament trees;
@@ -45,6 +47,7 @@ pub use pwe_trace as trace;
 pub mod prelude {
     pub use pwe_asym::cost::{measure, CostReport, Omega};
     pub use pwe_asym::counters::{record_read, record_reads, record_write, record_writes};
+    pub use pwe_asym::smallmem::{ScratchReport, SmallMem, TaskScratch};
     pub use pwe_augtree::{IntervalTree, PrioritySearchTree, RangeTree2D};
     pub use pwe_delaunay::{triangulate_baseline, triangulate_write_efficient};
     pub use pwe_geom::point::{GridPoint, Point2, PointK};

@@ -51,11 +51,18 @@ use rayon::prelude::*;
 
 use pwe_asym::counters::{record_reads, record_writes};
 use pwe_asym::depth;
+use pwe_asym::smallmem::{ScratchReport, SmallMem, TaskScratch};
 use pwe_primitives::priority_write::PriorityIndex;
 use pwe_primitives::scan::par_exclusive_scan;
 use pwe_primitives::semisort::semisort_by_key;
 
 use crate::mesh::{norm_edge, TriMesh, NO_TRI};
+
+/// Small-memory budget constant for the engine: a candidate's per-task
+/// scratch is its cavity-boundary walk (one word per boundary edge; cavities
+/// are `O(1)` expected and `O(log n)` whp under random insertion order,
+/// Theorem 5.1), so `8·log₂ n` words holds with comfortable whp slack.
+pub const ENGINE_SCRATCH_C: u64 = 8;
 
 /// Statistics of one batch insertion.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -69,6 +76,11 @@ pub struct InsertStats {
     pub conflict_entries_written: u64,
     /// Largest cavity (in triangles) re-triangulated for a single point.
     pub max_cavity: usize,
+    /// Small-memory ledger snapshot: the largest per-task symmetric scratch
+    /// any cavity assessment or fan construction used, against the
+    /// `c·log₂ n` budget.  Per-task fold-max, so schedule-independent like
+    /// every other field.
+    pub scratch: ScratchReport,
 }
 
 /// Sentinel for "no row" / "no owner" in the triangle-id-indexed arrays.
@@ -124,6 +136,7 @@ fn plan_round(
     row_of: &[AtomicU32],
     owner: &[AtomicU32],
     reserve: &PriorityIndex,
+    ledger: &SmallMem,
 ) -> RoundPlan {
     let num_rows = rows_tri.len();
 
@@ -191,6 +204,11 @@ fn plan_round(
     let assessed: Vec<(bool, Vec<BoundaryEdge>)> = candidates
         .par_iter()
         .map(|(p, cavity)| {
+            // The assessment task's symmetric scratch: walk registers plus
+            // one word per collected boundary edge (an O(1)-word record).
+            // Cavities are O(log n) whp, so this fits the c·log n budget.
+            let mut scratch = TaskScratch::new(ledger);
+            scratch.alloc(2);
             let mut ok = true;
             let mut boundary: Vec<BoundaryEdge> = Vec::new();
             for &t in cavity {
@@ -212,12 +230,16 @@ fn plan_round(
                                 inside: t,
                                 outside: o,
                             });
+                            scratch.alloc(1);
                         }
-                        None => boundary.push(BoundaryEdge {
-                            edge: e,
-                            inside: t,
-                            outside: NO_TRI,
-                        }),
+                        None => {
+                            boundary.push(BoundaryEdge {
+                                edge: e,
+                                inside: t,
+                                outside: NO_TRI,
+                            });
+                            scratch.alloc(1);
+                        }
                     }
                 }
             }
@@ -246,6 +268,14 @@ fn plan_round(
     let fans: Vec<Vec<PendingTri>> = winners
         .par_iter()
         .map(|&ci| {
+            // The fan task's symmetric scratch is O(1) words of edge/orient
+            // registers.  The `merged` staging buffer below is *large-memory*
+            // traffic, not task scratch: its entries are the conflict-list
+            // rows of `t` and `t_o` (already resident and charged) and its
+            // survivors are charged as redistribution writes at commit —
+            // Algorithm 2 (line 15) streams this filter with an O(1) cursor.
+            let mut scratch = TaskScratch::new(ledger);
+            scratch.alloc(4);
             let p = candidates[ci].0;
             assessed[ci]
                 .1
@@ -344,6 +374,9 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
     let mut row_of = atomic_none_vec(mesh.history_size());
     let mut owner = atomic_none_vec(mesh.history_size());
     let reserve = PriorityIndex::new(mesh.points.len());
+    // Per-task symmetric scratch budget for the batch (Theorem 5.1 assumes
+    // the model default of O(log n) words per task).
+    let ledger = SmallMem::logarithmic(mesh.points.len(), ENGINE_SCRATCH_C);
 
     while !rows_tri.is_empty() {
         stats.rounds += 1;
@@ -356,10 +389,14 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
         let total_entries: u64 = rows_pts.iter().map(|l| l.len() as u64).sum();
         let plan = if total_entries < SEQ_ROUND_CUTOFF {
             rayon::with_sequential(|| {
-                plan_round(mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve)
+                plan_round(
+                    mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve, &ledger,
+                )
             })
         } else {
-            plan_round(mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve)
+            plan_round(
+                mesh, &rows_tri, &rows_pts, &row_of, &owner, &reserve, &ledger,
+            )
         };
         record_reads(total_entries);
         let RoundPlan {
@@ -427,6 +464,7 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
         // reservation scan adds its own O(log) structural depth.)
         depth::add(1 + round_max_path);
     }
+    stats.scratch = ledger.report();
     stats
 }
 

@@ -27,9 +27,12 @@
 //!
 //! * [`mesh`] — the triangulation: triangle arena, alive-edge adjacency map,
 //!   and the history/tracing DAG (which implements [`pwe_trace::TraceDag`]).
-//! * [`engine`] — the batch insertion engine shared by both algorithms
-//!   (conflict sets, winner selection, cavity re-triangulation,
-//!   redistribution).
+//! * [`engine`] — the §5 batch insertion engine shared by both algorithms:
+//!   parallel, deterministic bulk-synchronous *reserve-and-commit* rounds
+//!   over flat conflict-row arenas (priority-write nomination, cavity
+//!   assessment, prefix-scan triangle-id reservation, fan construction,
+//!   ordered commit), with every cavity task's scratch charged to the
+//!   `O(log n)` small-memory ledger.
 //! * [`baseline`] — `ParIncrementalDT`: all points compete from the start
 //!   (write-inefficient baseline, `Θ(n log n)` writes).
 //! * [`write_efficient`] — the prefix-doubling + tracing variant

@@ -94,6 +94,7 @@ pub fn triangulate_write_efficient_with_stats(
         stats.insert.inserted += round_stats.inserted;
         stats.insert.conflict_entries_written += round_stats.conflict_entries_written;
         stats.insert.max_cavity = stats.insert.max_cavity.max(round_stats.max_cavity);
+        stats.insert.scratch = stats.insert.scratch.merge_max(&round_stats.scratch);
     }
 
     stats.alive_triangles = mesh.alive_count();

@@ -1,0 +1,62 @@
+//! Tier-1 small-memory assertions for Theorem 5.1: every per-candidate
+//! cavity assessment and fan construction inside the batch-insertion engine
+//! stays within the model's default `c·log₂ n`-word task budget, asserted
+//! at two input sizes for both the baseline and the write-efficient
+//! algorithm (they share the engine).  The recorded high-water mark is a
+//! per-task fold-max, so these bounds hold identically at every
+//! `RAYON_NUM_THREADS`.
+
+use pwe_asym::depth::log2_ceil;
+use pwe_delaunay::engine::ENGINE_SCRATCH_C;
+use pwe_delaunay::{baseline::triangulate_baseline_with_stats, write_efficient};
+use pwe_geom::generators::uniform_grid_points;
+
+/// The engine sizes its ledger on the mesh's point table (input + 3 ghosts).
+fn engine_budget(n: usize) -> u64 {
+    ENGINE_SCRATCH_C * (log2_ceil(n + 3) + 1)
+}
+
+#[test]
+fn small_memory_write_efficient_engine_at_two_sizes() {
+    for n in [500usize, 4_000] {
+        let points = uniform_grid_points(n, 1 << 18, 8);
+        let (_, stats) = write_efficient::triangulate_write_efficient_with_stats(&points, 5);
+        assert_eq!(stats.insert.inserted as usize, n);
+        assert_eq!(
+            stats.insert.scratch.budget,
+            engine_budget(n),
+            "budget formula at n={n}"
+        );
+        // Liveness: the widest cavity's boundary walk must have been charged.
+        assert!(
+            stats.insert.scratch.high_water as usize > stats.insert.max_cavity,
+            "scratch {} should exceed the max cavity {} at n={n}",
+            stats.insert.scratch.high_water,
+            stats.insert.max_cavity,
+        );
+        assert!(
+            stats.insert.scratch.within_budget(),
+            "engine used {} of {} scratch words at n={n}",
+            stats.insert.scratch.high_water,
+            stats.insert.scratch.budget,
+        );
+    }
+}
+
+#[test]
+fn small_memory_baseline_engine_at_two_sizes() {
+    // The baseline is write-inefficient in the *large* memory; its per-task
+    // symmetric scratch obeys the same logarithmic budget.
+    for n in [500usize, 4_000] {
+        let points = uniform_grid_points(n, 1 << 18, 9);
+        let (_, stats) = triangulate_baseline_with_stats(&points, 5);
+        assert_eq!(stats.insert.scratch.budget, engine_budget(n));
+        assert!(stats.insert.scratch.high_water > 0);
+        assert!(
+            stats.insert.scratch.within_budget(),
+            "baseline engine used {} of {} scratch words at n={n}",
+            stats.insert.scratch.high_water,
+            stats.insert.scratch.budget,
+        );
+    }
+}

@@ -6,8 +6,8 @@
 //!   k-dimensional floating-point points (for k-d trees and range trees).
 //! * [`predicates`] — exact orientation and in-circle tests on grid points
 //!   using `i128` arithmetic.  The paper assumes exact predicates and general
-//!   position; grid-snapped integer coordinates give exactness without a
-//!   floating-point filter stack (see DESIGN.md, "Substitutions").
+//!   position (Section 5); grid-snapped integer coordinates give exactness
+//!   without a floating-point filter stack.
 //! * [`bbox`] — axis-aligned boxes and rectangles for k-d tree regions and
 //!   range queries.
 //! * [`interval`] — closed intervals for the interval tree / stabbing queries.

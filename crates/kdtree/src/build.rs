@@ -6,6 +6,7 @@ use rayon::prelude::*;
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth::{self, RoundDepth};
 use pwe_asym::parallel::par_join;
+use pwe_asym::smallmem::{ScratchReport, SmallMem, TaskScratch};
 use pwe_geom::point::PointK;
 use pwe_primitives::permute::random_permutation;
 use pwe_primitives::semisort::semisort_by_key;
@@ -15,6 +16,22 @@ use crate::tree::{KdNode, KdTree, EMPTY};
 
 /// Default leaf bucket capacity of the finished tree (both builders).
 pub const DEFAULT_LEAF_CAPACITY: usize = 16;
+
+/// Small-memory budget constant for the classic builder: its per-task
+/// scratch is one `O(1)`-word partition frame per recursion level, so
+/// `6·log₂ n` words bounds it with slack (the in-place median select needs
+/// no per-element scratch).
+pub const CLASSIC_SCRATCH_C: u64 = 6;
+
+/// Small-memory budget for the p-batched builder, in words: Section 6.1's
+/// stated exception to the `O(log n)` default is that each task gets `Ω(p)`
+/// symmetric words (the settle/flush buffers are split *inside* small
+/// memory).  A settle holds its own buffer plus the overflowing child's
+/// along one recursion path, hence the factor 4; the additive term covers
+/// frame bookkeeping at tiny `p`.
+pub fn p_batched_scratch_budget(p: usize) -> u64 {
+    4 * p as u64 + 64
+}
 
 /// Regions at or below this size are built without forking.  Now that
 /// `par_join` really pushes its second branch to the work-stealing pool, a
@@ -37,6 +54,10 @@ pub struct BuildStats {
     pub settles: usize,
     /// Largest buffer observed when a leaf was settled.
     pub max_buffer: usize,
+    /// Small-memory ledger snapshot: largest per-task symmetric scratch used
+    /// (recursion frames for the classic build; settle/flush buffers, capped
+    /// by the `Ω(p)` exception of Section 6.1, for the p-batched build).
+    pub scratch: ScratchReport,
 }
 
 /// The paper's recommended buffer size for range queries: `p = Θ(log³ n)`
@@ -60,9 +81,10 @@ pub fn build_classic_with_stats<const K: usize>(
 ) -> (KdTree<K>, BuildStats) {
     let mut tree = KdTree::empty(points.to_vec(), leaf_capacity);
     record_writes(points.len() as u64); // materialize the owned copy
+    let ledger = SmallMem::logarithmic(points.len(), CLASSIC_SCRATCH_C);
     let mut idxs: Vec<u32> = (0..points.len() as u32).collect();
     if !idxs.is_empty() {
-        let (nodes, root) = build_rec(points, &mut idxs, 0, leaf_capacity.max(1), true);
+        let (nodes, root) = build_rec(points, &mut idxs, 0, leaf_capacity.max(1), true, &ledger, 0);
         tree.nodes = nodes;
         tree.root = root;
     }
@@ -73,6 +95,7 @@ pub fn build_classic_with_stats<const K: usize>(
         rounds: 1,
         settles: 0,
         max_buffer: 0,
+        scratch: ledger.report(),
     };
     (tree, stats)
 }
@@ -84,18 +107,26 @@ pub fn build_classic_with_stats<const K: usize>(
 /// per point (the classic algorithm); when false the splitting is assumed to
 /// happen inside the `Ω(p)`-word small memory (the final settle of the
 /// p-batched construction) and only the emitted leaf buckets are charged.
+///
+/// `base_words` is the scratch the calling task already holds (the flush
+/// buffer during the small-memory final build, 0 for the classic build);
+/// each leaf folds `base_words` plus its chain's recursion frames into the
+/// ledger, so the recorded high-water is the true per-task peak.
 fn build_rec<const K: usize>(
     points: &[PointK<K>],
     idxs: &mut [u32],
     depth_level: usize,
     leaf_capacity: usize,
     charge_full_writes: bool,
+    ledger: &SmallMem,
+    base_words: u64,
 ) -> (Vec<KdNode>, usize) {
     let n = idxs.len();
     if n <= leaf_capacity {
         let mut leaf = KdNode::leaf();
         leaf.bucket = idxs.to_vec();
         leaf.size = n;
+        ledger.observe_task(base_words + depth_level as u64 + 2);
         record_writes(n as u64);
         return (vec![leaf], 0);
     }
@@ -125,6 +156,8 @@ fn build_rec<const K: usize>(
                     depth_level + 1,
                     leaf_capacity,
                     charge_full_writes,
+                    ledger,
+                    base_words,
                 )
             },
             || {
@@ -134,6 +167,8 @@ fn build_rec<const K: usize>(
                     depth_level + 1,
                     leaf_capacity,
                     charge_full_writes,
+                    ledger,
+                    base_words,
                 )
             },
         )
@@ -145,6 +180,8 @@ fn build_rec<const K: usize>(
                 depth_level + 1,
                 leaf_capacity,
                 charge_full_writes,
+                ledger,
+                base_words,
             ),
             build_rec(
                 points,
@@ -152,6 +189,8 @@ fn build_rec<const K: usize>(
                 depth_level + 1,
                 leaf_capacity,
                 charge_full_writes,
+                ledger,
+                base_words,
             ),
         )
     };
@@ -216,13 +255,17 @@ pub fn build_p_batched<const K: usize>(
     let schedule = prefix_doubling_rounds(n, 1);
     stats.rounds = schedule.rounds().len();
 
+    // The Ω(p) small-memory exception of Section 6.1: settle and flush
+    // buffers are partitioned inside the task's symmetric memory.
+    let ledger = SmallMem::with_budget(p_batched_scratch_budget(p));
+
     // Initial round: classic construction on the small prefix, but with leaf
     // capacity p so the later rounds have buffers to fill.
     let initial = schedule.rounds()[0];
     let mut tree = KdTree::empty(ordered.clone(), leaf_capacity);
     {
         let mut idxs: Vec<u32> = (initial.start as u32..initial.end as u32).collect();
-        let (nodes, root) = build_rec(&ordered, &mut idxs, 0, p, true);
+        let (nodes, root) = build_rec(&ordered, &mut idxs, 0, p, true, &ledger, 0);
         tree.nodes = nodes;
         tree.root = root;
     }
@@ -237,6 +280,9 @@ pub fn build_p_batched<const K: usize>(
         let located: Vec<(usize, u32)> = batch
             .par_iter()
             .map(|&pi| {
+                // Each locate task holds O(1) words of descent registers.
+                let mut scratch = TaskScratch::new(&ledger);
+                scratch.alloc(2);
                 let (leaf, visited) = locate_leaf(&tree, &ordered[pi as usize]);
                 locate_depth.record(visited);
                 (leaf, pi)
@@ -256,7 +302,17 @@ pub fn build_p_batched<const K: usize>(
                 .bucket
                 .extend(group.items.iter().map(|(_, pi)| *pi));
             stats.max_buffer = stats.max_buffer.max(tree.nodes[leaf].bucket.len());
-            settle_overflowing(&mut tree, &ordered, leaf, p, 0, &mut stats, &settle_depth);
+            let mut scratch = TaskScratch::new(&ledger);
+            settle_overflowing(
+                &mut tree,
+                &ordered,
+                leaf,
+                p,
+                0,
+                &mut stats,
+                &settle_depth,
+                &mut scratch,
+            );
         }
         settle_depth.commit();
     }
@@ -271,7 +327,21 @@ pub fn build_p_batched<const K: usize>(
         let mut bucket = std::mem::take(&mut tree.nodes[leaf].bucket);
         record_reads(bucket.len() as u64 * depth::log2_ceil(bucket.len().max(2)));
         final_depth.record(depth::log2_ceil(bucket.len().max(1)));
-        let (nodes, local_root) = build_rec(&ordered, &mut bucket, 0, leaf_capacity, false);
+        // The whole buffer (≤ p entries by now) is split inside the task's
+        // Ω(p)-word small memory; only the emitted leaves are charged as
+        // large-memory writes.
+        let mut scratch = TaskScratch::new(&ledger);
+        let bucket_words = bucket.len() as u64;
+        scratch.alloc(bucket_words);
+        let (nodes, local_root) = build_rec(
+            &ordered,
+            &mut bucket,
+            0,
+            leaf_capacity,
+            false,
+            &ledger,
+            bucket_words,
+        );
         graft(&mut tree, leaf, nodes, local_root);
     }
     final_depth.commit();
@@ -279,6 +349,7 @@ pub fn build_p_batched<const K: usize>(
     recompute_sizes(&mut tree);
     stats.height = tree.height();
     stats.nodes = tree.node_count();
+    stats.scratch = ledger.report();
     (tree, stats)
 }
 
@@ -305,6 +376,11 @@ pub(crate) fn locate_leaf<const K: usize>(tree: &KdTree<K>, q: &PointK<K>) -> (u
 /// Settle `leaf` if its buffer exceeds `p`: split it at the median of its
 /// buffered sample and recurse into any child that still overflows
 /// (Lemma 6.3 shows this recursion terminates after O(1) levels whp).
+///
+/// The buffered sample is split inside the settle task's `Ω(p)`-word small
+/// memory (`scratch` charges it; the recursion path holds at most the buffer
+/// plus one overflowing child's buffer at a time).
+#[allow(clippy::too_many_arguments)]
 fn settle_overflowing<const K: usize>(
     tree: &mut KdTree<K>,
     points: &[PointK<K>],
@@ -313,6 +389,7 @@ fn settle_overflowing<const K: usize>(
     depth_level: usize,
     stats: &mut BuildStats,
     settle_depth: &RoundDepth,
+    scratch: &mut TaskScratch<'_>,
 ) {
     if tree.nodes[leaf].bucket.len() <= p {
         return;
@@ -320,6 +397,7 @@ fn settle_overflowing<const K: usize>(
     stats.settles += 1;
     stats.max_buffer = stats.max_buffer.max(tree.nodes[leaf].bucket.len());
     let mut bucket = std::mem::take(&mut tree.nodes[leaf].bucket);
+    scratch.alloc(bucket.len() as u64);
     let dim = depth_level % K;
     let mid = bucket.len() / 2;
     record_reads(bucket.len() as u64);
@@ -358,6 +436,7 @@ fn settle_overflowing<const K: usize>(
         depth_level + 1,
         stats,
         settle_depth,
+        scratch,
     );
     settle_overflowing(
         tree,
@@ -367,7 +446,11 @@ fn settle_overflowing<const K: usize>(
         depth_level + 1,
         stats,
         settle_depth,
+        scratch,
     );
+    // `bucket` lives until here; each recursion level's buffer halves, so
+    // the path-sum stays within the Ω(p) budget (Lemma 6.3: O(1) levels whp).
+    scratch.free(bucket.len() as u64);
 }
 
 /// Replace leaf `leaf` with a locally-built subtree (arena `nodes`, root

@@ -4,7 +4,7 @@
 //! cannot rebalance them.  The paper therefore supports updates by
 //! reconstruction, in two flavours:
 //!
-//! * [`LogarithmicKdForest`] — the logarithmic method (Overmars [46]): keep
+//! * [`LogarithmicKdForest`] — the logarithmic method (Overmars \[46\]): keep
 //!   at most `log₂ n` trees of sizes that are distinct powers of two; an
 //!   insertion merges equal-sized trees like a binary counter.  Updates cost
 //!   `O(log² n)` reads/writes amortized — and when the merged trees are

@@ -20,7 +20,11 @@
 //! * [`tree::KdTree`] — the tree structure shared by all builders, with
 //!   range, nearest-neighbour and (1+ε)-ANN queries;
 //! * [`build`] — the classic `O(n log n)`-write median-split construction
-//!   (the baseline) and the p-batched write-efficient construction;
+//!   (the baseline) and the p-batched write-efficient construction; both
+//!   charge their per-task scratch to a small-memory ledger — the classic
+//!   build against the model's `O(log n)` default, the p-batched build
+//!   against the `Ω(p)` exception Section 6.1 states (its settle/flush
+//!   buffers are split inside symmetric memory);
 //! * [`dynamic`] — dynamic updates: deletion by marking with full rebuilds,
 //!   the logarithmic-reconstruction insertion method, and the single-tree
 //!   reconstruction-based rebalancing variant (Section 6.2).
@@ -29,6 +33,9 @@ pub mod build;
 pub mod dynamic;
 pub mod tree;
 
-pub use build::{build_classic, build_p_batched, recommended_p, BuildStats};
+pub use build::{
+    build_classic, build_p_batched, p_batched_scratch_budget, recommended_p, BuildStats,
+    CLASSIC_SCRATCH_C,
+};
 pub use dynamic::{DynamicKdTree, LogarithmicKdForest};
 pub use tree::KdTree;

@@ -11,7 +11,7 @@
 //! * [`permute`] — seeded random permutations; the randomized incremental
 //!   algorithms all assume the input arrives in random order.
 //! * [`semisort`] — grouping records by key in expected linear work and
-//!   writes (the paper cites Gu, Shun, Sun, Blelloch [34] for this bound);
+//!   writes (the paper cites Gu, Shun, Sun, Blelloch \[34\] for this bound);
 //!   used to collect the points that landed in the same bucket / triangle /
 //!   leaf during an incremental round.
 //! * [`priority_write`] — the priority-write (write-min) primitive the

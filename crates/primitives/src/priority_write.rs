@@ -128,6 +128,22 @@ impl PriorityIndex {
     }
 
     /// Priority-write `v` into cell `i`; `true` if `v` won.
+    ///
+    /// This is the CRCW convention the paper's parallel incremental
+    /// algorithms assume: concurrent writers to one location resolve to the
+    /// minimum, a successful write costs one large-memory write, and a
+    /// losing attempt costs one read.
+    ///
+    /// ```
+    /// use pwe_primitives::priority_write::{PriorityIndex, EMPTY};
+    ///
+    /// let reservations = PriorityIndex::new(4);
+    /// assert!(reservations.write_min(2, 7)); // first writer wins…
+    /// assert!(!reservations.write_min(2, 9)); // …larger values lose…
+    /// assert!(reservations.write_min(2, 3)); // …smaller values re-win.
+    /// assert_eq!(reservations.load(2), 3);
+    /// assert_eq!(reservations.load(0), EMPTY); // untouched cells stay empty
+    /// ```
     #[inline]
     pub fn write_min(&self, i: usize, v: u64) -> bool {
         self.cells[i].write_min(v)

@@ -1,7 +1,7 @@
 //! Semisort: group records by key in expected linear work and writes.
 //!
 //! The paper repeatedly invokes the top-down parallel semisort of Gu, Shun,
-//! Sun and Blelloch [34]: after an incremental round locates, for every new
+//! Sun and Blelloch \[34\]: after an incremental round locates, for every new
 //! object, the bucket / triangle / leaf it conflicts with, the objects that
 //! share a destination must be gathered together — in linear expected writes
 //! and polylogarithmic depth, because a comparison sort here would reintroduce
@@ -71,6 +71,20 @@ fn bucket_of<K: Hash>(key: &K, mask: usize) -> usize {
 /// with the items inside a group preserving their relative input order.
 ///
 /// Cost: `O(n)` expected reads and writes, `O(log n)` depth.
+///
+/// ```
+/// use pwe_primitives::semisort::semisort_by_key;
+///
+/// // Group (triangle, point) conflict pairs by triangle, as the Delaunay
+/// // engine does after a locate round.
+/// let pairs = [(2u32, 10u32), (0, 11), (2, 12), (0, 13)];
+/// let groups = semisort_by_key(&pairs, |&(tri, _)| tri);
+/// // Groups come back in first-occurrence order, items in input order:
+/// assert_eq!(groups[0].key, 2);
+/// assert_eq!(groups[0].items, vec![(2, 10), (2, 12)]);
+/// assert_eq!(groups[1].key, 0);
+/// assert_eq!(groups[1].items, vec![(0, 11), (0, 13)]);
+/// ```
 pub fn semisort_by_key<T, K, F>(items: &[T], key: F) -> Vec<Group<K, T>>
 where
     T: Clone + Send + Sync,

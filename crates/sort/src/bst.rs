@@ -188,6 +188,13 @@ impl<K: Ord + Copy> Bst<K> {
     /// In-order traversal into a vector, charging `O(n)` reads and writes
     /// (this is the final "write the sorted output" pass of the sort).
     pub fn in_order(&self) -> Vec<K> {
+        self.in_order_scratch(&mut pwe_asym::smallmem::TaskScratch::untracked())
+    }
+
+    /// [`Bst::in_order`], charging the traversal's explicit stack — one word
+    /// per entry, peak `O(height)` = `O(log n)` whp for a random insertion
+    /// order — against a small-memory ledger via `scratch`.
+    pub fn in_order_scratch(&self, scratch: &mut pwe_asym::smallmem::TaskScratch<'_>) -> Vec<K> {
         let mut out = Vec::with_capacity(self.nodes.len());
         // Iterative traversal; the explicit stack lives in small memory.
         let mut stack = Vec::new();
@@ -195,9 +202,11 @@ impl<K: Ord + Copy> Bst<K> {
         while cur != EMPTY || !stack.is_empty() {
             while cur != EMPTY {
                 stack.push(cur);
+                scratch.alloc(1);
                 cur = self.nodes[cur].left;
             }
             let v = stack.pop().expect("stack non-empty");
+            scratch.free(1);
             out.push(self.nodes[v].key);
             cur = self.nodes[v].right;
         }

@@ -24,11 +24,20 @@ use rayon::prelude::*;
 
 use pwe_asym::counters::record_writes;
 use pwe_asym::depth::{self, RoundDepth};
+use pwe_asym::smallmem::{ScratchReport, SmallMem, TaskScratch};
 use pwe_primitives::permute::random_permutation;
 use pwe_primitives::semisort::semisort_by_key;
 use pwe_trace::prefix::prefix_doubling_rounds;
 
 use crate::bst::{Bst, Slot, EMPTY};
+
+/// Small-memory budget constant for the incremental sort.  The largest
+/// per-task scratch is the final in-order traversal's stack, `O(height)`
+/// words — a random-order BST has height `≈ 3·log₂ n` in expectation and
+/// `O(log n)` whp, so `10·log₂ n` words leaves comfortable whp slack while a
+/// linear-scratch regression still blows through it (asserted by
+/// `small_memory_incremental_sort` in `tests/small_memory.rs`).
+pub const SORT_SCRATCH_C: u64 = 10;
 
 /// Statistics reported by [`incremental_sort_with_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +51,10 @@ pub struct IncrementalSortStats {
     /// Number of keys that were deferred to the clean-up round (only non-zero
     /// for the bounded-bucket variant).
     pub deferred: usize,
+    /// Small-memory ledger snapshot: the largest per-task symmetric scratch
+    /// any task used (locate-path registers, bucket bookkeeping, traversal
+    /// stack) against the `c·log₂ n` budget of Theorem 4.1.
+    pub scratch: ScratchReport,
 }
 
 /// Sort `keys` with the write-efficient incremental BST sort.
@@ -91,6 +104,7 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
 
     let schedule = prefix_doubling_rounds(n, 2);
     let mut tree: Bst<K> = Bst::with_capacity(n);
+    let ledger = SmallMem::logarithmic(n, SORT_SCRATCH_C);
     let mut stats = IncrementalSortStats {
         rounds: schedule.rounds().len(),
         ..Default::default()
@@ -100,7 +114,10 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
     for round in schedule.rounds() {
         let batch = &ordered[round.start..round.end];
         if round.is_initial() {
-            // Plain sequential Algorithm 1 on the small prefix.
+            // Plain sequential Algorithm 1 on the small prefix.  The insert
+            // walk holds O(1) registers (current node, visit counter).
+            let mut scratch = TaskScratch::new(&ledger);
+            scratch.alloc(2);
             let mut max_depth = 0u64;
             for &k in batch {
                 max_depth = max_depth.max(tree.insert(k));
@@ -120,6 +137,9 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
         let located: Vec<(Slot, K)> = batch
             .par_iter()
             .map(|&k| {
+                // Each locate task holds O(1) words of path registers.
+                let mut scratch = TaskScratch::new(&ledger);
+                scratch.alloc(2);
                 let (slot, visited) = tree.locate(k);
                 locate_depth.record(visited);
                 (slot, k)
@@ -139,11 +159,19 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
         let built: Vec<(Slot, Bst<K>, Vec<K>)> = groups
             .par_iter()
             .map(|g| {
+                // Per-bucket task scratch: insert-walk registers plus one
+                // word per deferred key (buckets are O(log n) whp, so the
+                // overflow list fits the logarithmic budget).
+                let mut scratch = TaskScratch::new(&ledger);
+                scratch.alloc(2);
                 let mut local: Bst<K> = Bst::with_capacity(g.items.len());
                 let mut overflow = Vec::new();
                 for (i, (_, k)) in g.items.iter().enumerate() {
                     match bucket_cap {
-                        Some(cap) if i >= cap => overflow.push(*k),
+                        Some(cap) if i >= cap => {
+                            overflow.push(*k);
+                            scratch.alloc(1);
+                        }
                         _ => {
                             local.insert(*k);
                         }
@@ -167,6 +195,8 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
     // expected amount of such work is o(n).
     stats.deferred = deferred.len();
     if !deferred.is_empty() {
+        let mut scratch = TaskScratch::new(&ledger);
+        scratch.alloc(2);
         let mut max_depth = 0u64;
         for &k in &deferred {
             max_depth = max_depth.max(tree.insert(k));
@@ -176,7 +206,9 @@ fn incremental_sort_impl<K: Ord + Copy + Send + Sync>(
 
     stats.tree_height = tree.height();
     depth::add(depth::log2_ceil(n)); // final output traversal
-    (tree.in_order(), stats)
+    let out = tree.in_order_scratch(&mut TaskScratch::new(&ledger));
+    stats.scratch = ledger.report();
+    (out, stats)
 }
 
 /// Splice a locally-built bucket subtree into the main arena under `slot`.

@@ -15,9 +15,13 @@
 //!    subtree independently, so writes are only incurred for the nodes
 //!    actually created.
 //!
-//! The crate also contains the **merge-sort baseline** whose `Θ(n log n)`
-//! writes the incremental sort is compared against in the experiments, and a
-//! small verification module.
+//! Modules: [`bst`] (the unbalanced arena BST of Algorithm 1),
+//! [`incremental`] (§4 / Theorem 4.1, the prefix-doubling sort),
+//! [`mergesort`] (the `Θ(n log n)`-write baseline the experiments compare
+//! against), [`verify`] (output oracles).  Both sorts charge their per-task
+//! scratch — locate registers, bucket bookkeeping, the traversal stack —
+//! to a `c·log₂ n`-word small-memory ledger (`crates/sort/tests/small_memory.rs`
+//! pins the budgets).
 //!
 //! ```
 //! use pwe_sort::{incremental_sort, merge_sort_baseline};
@@ -34,6 +38,8 @@ pub mod incremental;
 pub mod mergesort;
 pub mod verify;
 
-pub use incremental::{incremental_sort, incremental_sort_with_stats, IncrementalSortStats};
-pub use mergesort::merge_sort_baseline;
+pub use incremental::{
+    incremental_sort, incremental_sort_with_stats, IncrementalSortStats, SORT_SCRATCH_C,
+};
+pub use mergesort::{merge_sort_baseline, merge_sort_baseline_with_scratch, MERGESORT_SCRATCH_C};
 pub use verify::{is_sorted, same_multiset};

@@ -5,39 +5,66 @@
 //! model its work is therefore `Θ(ωn log n)`, which is the baseline the
 //! paper's `O(n log n + ωn)` incremental sort improves on (Section 4; the
 //! paper's own comparison point is the write-optimal but much more involved
-//! Cole's-mergesort-based sort of [14]).
+//! Cole's-mergesort-based sort of \[14\]).
 
 use pwe_asym::depth;
 use pwe_asym::parallel::par_join;
+use pwe_asym::smallmem::{ScratchReport, SmallMem};
 use pwe_primitives::merge::merge_into;
+
+/// Small-memory budget constant for the merge-sort baseline: each task chain
+/// holds one `O(1)`-word frame per recursion level plus the base case's
+/// `O(log SEQ_CUTOFF)`-word pivot stack, so `4·log₂ n` words is a safe
+/// logarithmic ceiling (asserted by `small_memory_mergesort` in
+/// `tests/small_memory.rs`).
+pub const MERGESORT_SCRATCH_C: u64 = 4;
 
 /// Sort a slice with a parallel top-down merge sort, charging
 /// `Θ(n log n)` reads and writes.
 pub fn merge_sort_baseline<K: Ord + Copy + Send + Sync>(keys: &[K]) -> Vec<K> {
-    let n = keys.len();
-    if n <= 1 {
-        return keys.to_vec();
-    }
-    let out = sort_rec(keys);
-    depth::add(depth::log2_ceil(n));
-    out
+    merge_sort_baseline_with_scratch(keys).0
 }
 
-fn sort_rec<K: Ord + Copy + Send + Sync>(keys: &[K]) -> Vec<K> {
+/// [`merge_sort_baseline`] plus the small-memory ledger report: the merge
+/// buffers themselves live in (and are charged to) the large asymmetric
+/// memory; the per-task *symmetric* scratch is only the recursion frames and
+/// the base-case sort's pivot stack, `O(log n)` words.
+pub fn merge_sort_baseline_with_scratch<K: Ord + Copy + Send + Sync>(
+    keys: &[K],
+) -> (Vec<K>, ScratchReport) {
+    let n = keys.len();
+    let ledger = SmallMem::logarithmic(n, MERGESORT_SCRATCH_C);
+    if n <= 1 {
+        return (keys.to_vec(), ledger.report());
+    }
+    let out = sort_rec(keys, &ledger, 0);
+    depth::add(depth::log2_ceil(n));
+    (out, ledger.report())
+}
+
+/// `level` counts the recursion frames (one word each) the current task
+/// chain holds above this call; the base case folds the chain's total into
+/// the ledger.
+fn sort_rec<K: Ord + Copy + Send + Sync>(keys: &[K], ledger: &SmallMem, level: u64) -> Vec<K> {
     let n = keys.len();
     const SEQ_CUTOFF: usize = 4096;
     if n <= SEQ_CUTOFF {
         // The sequential base case still pays the model's n log n writes of a
-        // standard comparison sort on its block.
+        // standard comparison sort on its block; its in-place pivot stack is
+        // O(log n) words of task scratch.
         let mut v = keys.to_vec();
         v.sort_unstable();
         let levels = pwe_asym::depth::log2_ceil(n.max(1));
+        ledger.observe_task(level + levels + 1);
         pwe_asym::counters::record_reads(n as u64 * levels);
         pwe_asym::counters::record_writes(n as u64 * levels.max(1));
         return v;
     }
     let mid = n / 2;
-    let (left, right) = par_join(|| sort_rec(&keys[..mid]), || sort_rec(&keys[mid..]));
+    let (left, right) = par_join(
+        || sort_rec(&keys[..mid], ledger, level + 1),
+        || sort_rec(&keys[mid..], ledger, level + 1),
+    );
     let mut out = vec![keys[0]; n];
     merge_into(&left, &right, &mut out, &|a: &K, b: &K| a < b);
     out

@@ -1,0 +1,68 @@
+//! Tier-1 small-memory assertions for Theorem 4.1: both sorts keep every
+//! task's symmetric scratch within a `c·log₂ n`-word budget, asserted at two
+//! input sizes so a super-logarithmic scratch regression fails the suite.
+//! The recorded high-water mark is a per-task fold-max, so these bounds hold
+//! identically at every `RAYON_NUM_THREADS`.
+
+use pwe_asym::depth::log2_ceil;
+use pwe_sort::{
+    incremental_sort_with_stats, is_sorted, merge_sort_baseline_with_scratch, MERGESORT_SCRATCH_C,
+    SORT_SCRATCH_C,
+};
+
+/// Deterministic pseudo-random keys (no RNG dependency; same at every
+/// thread count and in every process).
+fn keys(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ i)
+        .collect()
+}
+
+#[test]
+fn small_memory_incremental_sort_logarithmic_at_two_sizes() {
+    for n in [2_000usize, 50_000] {
+        let (sorted, stats) = incremental_sort_with_stats(&keys(n), 7);
+        assert!(is_sorted(&sorted));
+        let budget = SORT_SCRATCH_C * (log2_ceil(n) + 1);
+        assert_eq!(stats.scratch.budget, budget, "budget formula at n={n}");
+        assert!(stats.scratch.high_water > 0, "ledger must be live at n={n}");
+        assert!(
+            stats.scratch.within_budget(),
+            "incremental sort used {} of {} scratch words at n={n}",
+            stats.scratch.high_water,
+            stats.scratch.budget,
+        );
+    }
+}
+
+#[test]
+fn small_memory_mergesort_logarithmic_at_two_sizes() {
+    for n in [2_000usize, 50_000] {
+        let (sorted, scratch) = merge_sort_baseline_with_scratch(&keys(n));
+        assert!(is_sorted(&sorted));
+        let budget = MERGESORT_SCRATCH_C * (log2_ceil(n) + 1);
+        assert_eq!(scratch.budget, budget, "budget formula at n={n}");
+        assert!(scratch.high_water > 0, "ledger must be live at n={n}");
+        assert!(
+            scratch.within_budget(),
+            "merge sort used {} of {} scratch words at n={n}",
+            scratch.high_water,
+            scratch.budget,
+        );
+    }
+}
+
+#[test]
+fn small_memory_scratch_grows_sublinearly() {
+    // The pinned-budget tests above already fail on a linear regression at
+    // n = 50 000; this adds the direct shape check — 25× the input must not
+    // even double the observed per-task scratch.
+    let (_, small) = incremental_sort_with_stats(&keys(2_000), 7);
+    let (_, large) = incremental_sort_with_stats(&keys(50_000), 7);
+    assert!(
+        large.scratch.high_water <= 2 * small.scratch.high_water.max(8),
+        "scratch grew from {} to {} words over a 25x input increase",
+        small.scratch.high_water,
+        large.scratch.high_water,
+    );
+}

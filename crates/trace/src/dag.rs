@@ -1,8 +1,18 @@
 //! The DAG tracing problem (Definition 3.1) and its write-efficient solution
 //! (Theorem 3.1).
+//!
+//! The trace keeps no visited marks; its only mutable state is the explicit
+//! DFS stack, which the paper stores in the task's symmetric small memory —
+//! this is the one place where the model's default `O(log n)`-word budget is
+//! relaxed to `O(D(G))` words (`D(G)` = longest directed path of the DAG).
+//! [`trace_scratch`] charges every stack entry against a caller-supplied
+//! [`pwe_asym::smallmem::SmallMem`] ledger through a
+//! [`pwe_asym::smallmem::TaskScratch`] guard, so the
+//! `small_memory_trace_*` tests can pin that `O(D(G))` claim.
 
 use pwe_asym::counters::{record_reads, record_writes};
 use pwe_asym::depth::RoundDepth;
+use pwe_asym::smallmem::{SmallMem, TaskScratch};
 
 /// A history DAG that can be traced for an element of type `Self::Element`.
 ///
@@ -69,6 +79,21 @@ pub struct TraceStats {
 /// unique and deterministic without writing any "visited" marks — the
 /// property that makes the trace write-efficient.
 pub fn trace<D: TraceDag>(dag: &D, x: &D::Element) -> (Vec<usize>, TraceStats) {
+    trace_scratch(dag, x, &mut TaskScratch::untracked())
+}
+
+/// [`trace`], charging the explicit DFS stack — the algorithm's entire
+/// per-task scratch — against a small-memory ledger via `scratch` (two words
+/// per stack entry: vertex handle and path length).
+///
+/// Theorem 3.1 assumes an `O(D(G))`-word symmetric memory for exactly this
+/// stack; callers size the ledger accordingly
+/// (`SmallMem::with_budget(c * depth_bound)`).
+pub fn trace_scratch<D: TraceDag>(
+    dag: &D,
+    x: &D::Element,
+    scratch: &mut TaskScratch<'_>,
+) -> (Vec<usize>, TraceStats) {
     let mut stats = TraceStats::default();
     let root = dag.root();
     if !dag.visible(x, root) {
@@ -81,9 +106,11 @@ pub fn trace<D: TraceDag>(dag: &D, x: &D::Element) -> (Vec<usize>, TraceStats) {
     let mut output = Vec::new();
     // Explicit stack of (vertex, path length); the paper stores this stack in
     // the O(D(G))-word small memory, so its pushes/pops are not charged as
-    // large-memory writes.
+    // large-memory writes — they are charged to the `scratch` ledger instead.
     let mut stack = vec![(root, 1u64)];
+    scratch.alloc(2);
     while let Some((v, pathlen)) = stack.pop() {
+        scratch.free(2);
         stats.max_path = stats.max_path.max(pathlen);
         if dag.is_sink(v) {
             output.push(v);
@@ -110,6 +137,7 @@ pub fn trace<D: TraceDag>(dag: &D, x: &D::Element) -> (Vec<usize>, TraceStats) {
             if responsible {
                 stats.visited += 1;
                 stack.push((w, pathlen + 1));
+                scratch.alloc(2);
             }
         }
     }
@@ -128,12 +156,32 @@ where
     D: TraceDag + Sync,
     D::Element: Sync,
 {
+    trace_collect_scratch(dag, elements, None)
+}
+
+/// [`trace_collect`] with an optional small-memory ledger: each element's
+/// trace runs under its own [`TaskScratch`] guard, so the ledger's
+/// high-water mark is the largest DFS stack any *single* trace needed —
+/// the per-task `O(D(G))` quantity of Theorem 3.1, schedule-independent.
+pub fn trace_collect_scratch<D>(
+    dag: &D,
+    elements: &[D::Element],
+    ledger: Option<&SmallMem>,
+) -> Vec<Vec<usize>>
+where
+    D: TraceDag + Sync,
+    D::Element: Sync,
+{
     use rayon::prelude::*;
     let round = RoundDepth::new();
     let out: Vec<Vec<usize>> = elements
         .par_iter()
         .map(|x| {
-            let (sinks, stats) = trace(dag, x);
+            let mut scratch = match ledger {
+                Some(ledger) => TaskScratch::new(ledger),
+                None => TaskScratch::untracked(),
+            };
+            let (sinks, stats) = trace_scratch(dag, x, &mut scratch);
             round.record(stats.max_path);
             sinks
         })

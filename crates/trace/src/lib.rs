@@ -27,5 +27,5 @@
 pub mod dag;
 pub mod prefix;
 
-pub use dag::{trace, trace_collect, TraceDag, TraceStats};
+pub use dag::{trace, trace_collect, trace_collect_scratch, trace_scratch, TraceDag, TraceStats};
 pub use prefix::{prefix_doubling_rounds, PrefixRound, PrefixSchedule};

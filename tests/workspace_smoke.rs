@@ -110,6 +110,20 @@ fn augmented_trees_answer() {
 }
 
 #[test]
+fn smallmem_ledger_round_trips() {
+    // SmallMem + TaskScratch + ScratchReport, the small-memory core.
+    let ledger = SmallMem::logarithmic(1 << 10, 4);
+    {
+        let mut scratch = TaskScratch::new(&ledger);
+        scratch.alloc(5);
+        scratch.free(2);
+    }
+    let report: ScratchReport = ledger.report();
+    assert_eq!(report.high_water, 5);
+    assert!(report.within_budget());
+}
+
+#[test]
 fn point_types_construct() {
     let g = GridPoint::new(-3, 4);
     assert_eq!((g.x, g.y), (-3, 4));

@@ -10,7 +10,8 @@
 //! parallelism) runs per-worker deques with owner-LIFO/thief-FIFO stealing,
 //! [`join`] pushes its second closure for stealing and runs the first
 //! inline, and the iterator terminals split recursively into pool tasks
-//! (see [`mod@iter`] and [`mod@pool`] for the two layers).  Blocked threads
+//! (see [`mod@iter`] and the crate-private `pool` module for the two
+//! layers).  Blocked threads
 //! steal instead of idling, so nested and re-entrant use cannot deadlock,
 //! and a panic inside either `join` branch or any iterator task propagates
 //! to the caller without killing a worker.
