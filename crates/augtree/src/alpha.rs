@@ -18,8 +18,16 @@ use pwe_asym::counters::record_reads;
 /// number of nodes in it plus one, so a leaf has weight 2 (and is therefore
 /// always critical: `2α⁰ = 2 ≤ 2 ≤ 4α⁰ − 2 = 2`).
 pub fn is_critical_weight(weight: usize, alpha: usize) -> bool {
-    debug_assert!(alpha >= 2, "α must be at least 2");
     record_reads(1);
+    is_critical_weight_uncharged(weight, alpha)
+}
+
+/// [`is_critical_weight`] without the model charge — used by the parallel
+/// build engine's arena-sizing pre-pass, which is pure index arithmetic (the
+/// same predicate is charged exactly once per node when the node's balance
+/// information is actually written).
+pub(crate) fn is_critical_weight_uncharged(weight: usize, alpha: usize) -> bool {
+    debug_assert!(alpha >= 2, "α must be at least 2");
     let mut bound = 1usize; // α^i
     loop {
         let lo = 2 * bound;

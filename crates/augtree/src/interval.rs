@@ -11,6 +11,13 @@
 //! * [`IntervalTree::build_presorted`] is the paper's post-sorted
 //!   construction — after a write-efficient sort of the endpoints it spends
 //!   only `O(n)` additional writes (Theorem 7.1).
+//! * [`IntervalTree::build_parallel`] is the same post-sorted construction
+//!   run through the shared parallel engine of [`crate::engine`]: the node
+//!   arena is pre-sized and laid out by index arithmetic (slot
+//!   `lo + (hi-lo)/2` for the key range `[lo, hi)`), and the skeleton,
+//!   attachment and weight passes fork over disjoint `&mut` arena regions.
+//!   Dynamic reconstructions ([`IntervalTree::insert`] /
+//!   [`IntervalTree::delete`]) rebuild through this engine.
 //! * Updates use α-labeling + reconstruction-based rebalancing
 //!   (Theorem 7.3/7.4): only the critical nodes on the search path have
 //!   their balance information rewritten, so an insertion writes
@@ -141,8 +148,11 @@ impl IntervalTree {
     // -------------------------------------------------------------- builds
 
     /// The classic construction: recursively split at the median endpoint,
-    /// physically partitioning the interval set at every level —
-    /// `Θ(n log n)` reads and writes.
+    /// partitioning the interval set at every level — `Θ(n log n)` reads
+    /// **and** charged writes.  The implementation selects the median and
+    /// 3-way-partitions *in place* over a single scratch buffer (no per-level
+    /// `Vec` allocations), but the model charges are the textbook
+    /// algorithm's: one copied word per endpoint and per interval per level.
     pub fn build_classic(intervals: &[Interval], alpha: usize) -> Self {
         assert!(alpha >= 2);
         let mut tree = IntervalTree {
@@ -154,44 +164,48 @@ impl IntervalTree {
             deletions: 0,
             rebuilds: 0,
         };
-        tree.root = tree.build_classic_rec(intervals.to_vec());
+        tree.nodes.reserve(2 * intervals.len());
+        let mut buf = intervals.to_vec();
+        let mut endpoints = vec![0.0f64; 2 * intervals.len()];
+        tree.root = tree.build_classic_rec(&mut buf, &mut endpoints);
         tree.finalize_weights();
         depth::add(depth::log2_ceil(intervals.len().max(1)));
         tree
     }
 
-    fn build_classic_rec(&mut self, intervals: Vec<Interval>) -> usize {
+    fn build_classic_rec(&mut self, intervals: &mut [Interval], endpoints: &mut [f64]) -> usize {
         if intervals.is_empty() {
             return EMPTY;
         }
-        // Median of the 2m endpoints.
-        let mut endpoints: Vec<f64> = intervals.iter().flat_map(|s| [s.left, s.right]).collect();
-        record_reads(endpoints.len() as u64);
-        endpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        record_writes(endpoints.len() as u64); // the classic build copies per level
-        let key = endpoints[endpoints.len() / 2];
-
-        let mut here = Vec::new();
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        for s in intervals {
-            if s.contains(key) {
-                here.push(s);
-            } else if s.right < key {
-                left.push(s);
-            } else {
-                right.push(s);
-            }
+        let m = intervals.len();
+        // Median of the 2m endpoints, selected in place in the scratch
+        // prefix (the full sort of the old construction is unnecessary).
+        let ep = &mut endpoints[..2 * m];
+        for (i, s) in intervals.iter().enumerate() {
+            ep[2 * i] = s.left;
+            ep[2 * i + 1] = s.right;
         }
-        record_writes((here.len() + left.len() + right.len()) as u64);
+        record_reads(2 * m as u64);
+        ep.select_nth_unstable_by(m, |a, b| a.partial_cmp(b).unwrap());
+        let key = ep[m];
+        record_writes(2 * m as u64); // the classic build copies per level
+
+        // In-place 3-way partition: [ right < key | contains key | rest ].
+        let left_end = crate::engine::partition_in_place(intervals, |s| s.right < key);
+        let here_end = left_end
+            + crate::engine::partition_in_place(&mut intervals[left_end..], |s| s.contains(key));
+        record_writes(m as u64);
 
         let idx = self.nodes.len();
         self.nodes.push(Node::new(key));
-        for s in here {
+        for &s in intervals[left_end..here_end].iter() {
             self.attach_interval(idx, &s);
         }
-        let l = self.build_classic_rec(left);
-        let r = self.build_classic_rec(right);
+        let l = self.build_classic_rec(&mut intervals[..left_end], endpoints);
+        let r = {
+            let (_, tail) = intervals.split_at_mut(here_end);
+            self.build_classic_rec(tail, endpoints)
+        };
         self.nodes[idx].left = l;
         self.nodes[idx].right = r;
         idx
@@ -251,6 +265,121 @@ impl IntervalTree {
         self.nodes[idx].left = l;
         self.nodes[idx].right = r;
         idx
+    }
+
+    /// The parallel allocation-lean construction (the shared engine of
+    /// [`crate::engine`]): sort the endpoints once, pre-size the node arena
+    /// (the node of key range `[lo, hi)` lives at slot `lo + (hi-lo)/2`, so
+    /// every subtree owns a disjoint arena region computable by index
+    /// arithmetic alone), then fork `par_join` recursion over disjoint
+    /// `&mut` regions for the skeleton, the interval attachment and the
+    /// weight/criticality pass.  Charges the same `O(sort(n)) + O(n)`-write
+    /// budget as [`IntervalTree::build_presorted`] (plus the grouping sort)
+    /// and produces a bit-identical arena at every thread count.
+    pub fn build_parallel(intervals: &[Interval], alpha: usize) -> Self {
+        Self::build_parallel_with_stats(intervals, alpha).0
+    }
+
+    /// [`IntervalTree::build_parallel`] plus build statistics (arena size and
+    /// the small-memory ledger snapshot of the forked recursion, budgeted at
+    /// [`crate::engine::build_scratch_budget`]).
+    pub fn build_parallel_with_stats(
+        intervals: &[Interval],
+        alpha: usize,
+    ) -> (Self, crate::engine::AugBuildStats) {
+        assert!(alpha >= 2);
+        let mut tree = IntervalTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            alpha,
+            len: intervals.len(),
+            built_len: intervals.len(),
+            deletions: 0,
+            rebuilds: 0,
+        };
+        if intervals.is_empty() {
+            return (tree, crate::engine::AugBuildStats::default());
+        }
+        let ledger = pwe_asym::smallmem::SmallMem::with_budget(
+            crate::engine::build_scratch_budget(intervals.len()),
+        );
+
+        // 1. Sort the 2n endpoint keys (write-efficient sort costs) and
+        //    deduplicate them.
+        let keys: Vec<u64> = intervals
+            .iter()
+            .flat_map(|s| [f64_key(s.left), f64_key(s.right)])
+            .collect();
+        record_reads(keys.len() as u64);
+        let mut sorted = sort_f64_keys(keys);
+        sorted.dedup();
+        let m = sorted.len();
+
+        // 2. Balanced skeleton over a pre-sized arena, forked over disjoint
+        //    regions (O(m) writes, O(log m) span).
+        let mut nodes = vec![Node::default(); m];
+        skeleton_rec(&sorted, &mut nodes, 0, 0, &ledger);
+        tree.root = m / 2;
+
+        // 3. Locate every interval's node (reads only, embarrassingly
+        //    parallel), then group the intervals by destination node with a
+        //    deterministic sort.
+        let nodes_ref = &nodes;
+        let root = tree.root;
+        let mut located: Vec<(u64, u32)> = pwe_asym::parallel::par_map(intervals.len(), |i| {
+            let mut scratch = pwe_asym::smallmem::TaskScratch::new(&ledger);
+            scratch.alloc(2);
+            (
+                locate_index(nodes_ref, root, &intervals[i]) as u64,
+                i as u32,
+            )
+        });
+        located.sort_unstable();
+        record_reads(located.len() as u64 * depth::log2_ceil(located.len().max(2)));
+        record_writes(located.len() as u64);
+
+        // 4. Attach each group to its node, forking over disjoint arena
+        //    regions (2 writes per interval, exactly as the sequential
+        //    attachment charges).
+        let runs = runs_of(&located);
+        attach_rec(&mut nodes, 0, &runs, &located, intervals, &ledger, 0);
+
+        tree.nodes = nodes;
+
+        // 5. Weights + α-criticality, forked over the same regions.
+        finalize_rec(&mut tree.nodes, alpha, 0, &ledger);
+        tree.nodes[tree.root].critical = true;
+        record_writes(tree.nodes.len() as u64);
+        record_reads(tree.nodes.len() as u64);
+
+        depth::add(2 * depth::log2_ceil(intervals.len().max(2)));
+        let stats = crate::engine::AugBuildStats {
+            nodes: m,
+            aug_len: 0,
+            scratch: ledger.report(),
+        };
+        (tree, stats)
+    }
+
+    /// Deterministic fingerprint of the arena layout (keys, child indices,
+    /// weights, criticality and the stored intervals, in slot order).
+    /// Diagnostic: uncharged; used by `tests/parallel_stress.rs` to pin the
+    /// layout as bit-identical across thread counts and processes.
+    pub fn layout_digest(&self) -> u64 {
+        let mut d = crate::engine::Digest::new();
+        d.word(crate::engine::digest_idx(self.root));
+        for node in &self.nodes {
+            d.word(f64_key(node.key));
+            d.word(crate::engine::digest_idx(node.left));
+            d.word(crate::engine::digest_idx(node.right));
+            d.word(node.weight as u64);
+            d.word(node.critical as u64);
+            for (&(k, id), _) in node.by_left.iter() {
+                d.word(k);
+                d.word(id);
+            }
+        }
+        d.finish()
     }
 
     /// Descend from the root to the first node whose key is covered by `s`
@@ -530,7 +659,7 @@ impl IntervalTree {
         // Rebuild everything once a constant fraction has been deleted.
         if self.deletions * 2 > self.built_len.max(1) {
             let all = self.collect_all();
-            *self = IntervalTree::build_presorted(&all, self.alpha);
+            *self = IntervalTree::build_parallel(&all, self.alpha);
             self.rebuilds += 1;
         }
         true
@@ -560,7 +689,7 @@ impl IntervalTree {
         self.rebuilds += 1;
         let mut intervals = Vec::new();
         self.collect_subtree(v, &mut intervals);
-        let rebuilt = IntervalTree::build_presorted(&intervals, self.alpha);
+        let rebuilt = IntervalTree::build_parallel(&intervals, self.alpha);
         // Splice the rebuilt arena into ours.
         let offset = self.nodes.len();
         let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + offset };
@@ -584,6 +713,169 @@ impl IntervalTree {
             self.nodes[self.root].critical = true;
         }
     }
+}
+
+// ------------------------------------------------------ parallel build engine
+
+/// Build the balanced skeleton over `region` (the nodes of key positions
+/// `[offset, offset + region.len())`): the subtree root sits at the region's
+/// midpoint and the halves fork over disjoint `&mut` regions.
+fn skeleton_rec(
+    keys: &[u64],
+    region: &mut [Node],
+    offset: usize,
+    level: u64,
+    ledger: &pwe_asym::smallmem::SmallMem,
+) {
+    let m = region.len();
+    if m == 0 {
+        return;
+    }
+    let mid = m / 2;
+    let (lregion, rest) = region.split_at_mut(mid);
+    let (node, rregion) = rest.split_first_mut().expect("non-empty region");
+    *node = Node::new(f64_from_key(keys[offset + mid]));
+    node.left = if mid > 0 { offset + mid / 2 } else { EMPTY };
+    node.right = if m - mid - 1 > 0 {
+        offset + mid + 1 + (m - mid - 1) / 2
+    } else {
+        EMPTY
+    };
+    record_writes(1);
+    if m == 1 {
+        ledger.observe_task(level + 2);
+        return;
+    }
+    crate::engine::join_grain(
+        m,
+        || skeleton_rec(keys, lregion, offset, level + 1, ledger),
+        || skeleton_rec(keys, rregion, offset + mid + 1, level + 1, ledger),
+    );
+}
+
+/// Read-only descent to the highest node whose key `s` covers.  Because the
+/// skeleton holds every (deduplicated) endpoint, the descent always hits.
+fn locate_index(nodes: &[Node], root: usize, s: &Interval) -> usize {
+    let mut cur = root;
+    loop {
+        record_read();
+        let key = nodes[cur].key;
+        if s.contains(key) {
+            return cur;
+        }
+        cur = if s.right < key {
+            nodes[cur].left
+        } else {
+            nodes[cur].right
+        };
+        assert!(
+            cur != EMPTY,
+            "interval endpoints are present after dedup, so the descent cannot fall off"
+        );
+    }
+}
+
+/// Contiguous runs of `located` (sorted by node index): `(node, start, end)`.
+fn runs_of(located: &[(u64, u32)]) -> Vec<(usize, usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=located.len() {
+        if i == located.len() || located[i].0 != located[start].0 {
+            runs.push((located[start].0 as usize, start, i));
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Attach each run's intervals to its node, forking over disjoint arena
+/// regions (runs are sorted by node index, so a split of the run list maps
+/// to a `split_at_mut` of the arena).
+fn attach_rec(
+    region: &mut [Node],
+    offset: usize,
+    runs: &[(usize, usize, usize)],
+    located: &[(u64, u32)],
+    intervals: &[Interval],
+    ledger: &pwe_asym::smallmem::SmallMem,
+    level: u64,
+) {
+    if runs.is_empty() {
+        return;
+    }
+    if runs.len() <= 8 || region.len() <= crate::engine::SEQUENTIAL_BUILD_CUTOFF {
+        for &(node, start, end) in runs {
+            let nd = &mut region[node - offset];
+            for &(_, idx) in &located[start..end] {
+                let s = &intervals[idx as usize];
+                nd.by_left.insert((f64_key(s.left), s.id), *s);
+                nd.by_right.insert((f64_key(s.right), s.id), *s);
+            }
+            record_writes(2 * (end - start) as u64);
+        }
+        ledger.observe_task(level + 3);
+        return;
+    }
+    let m = region.len();
+    let half = runs.len() / 2;
+    let boundary = runs[half].0;
+    let (lruns, rruns) = runs.split_at(half);
+    let (lregion, rregion) = region.split_at_mut(boundary - offset);
+    crate::engine::join_grain(
+        m,
+        || {
+            attach_rec(
+                lregion,
+                offset,
+                lruns,
+                located,
+                intervals,
+                ledger,
+                level + 1,
+            )
+        },
+        || {
+            attach_rec(
+                rregion,
+                boundary,
+                rruns,
+                located,
+                intervals,
+                ledger,
+                level + 1,
+            )
+        },
+    );
+}
+
+/// Subtree weights and α-criticality over the arithmetic arena layout,
+/// forked over disjoint regions; returns the subtree weight.
+fn finalize_rec(
+    region: &mut [Node],
+    alpha: usize,
+    level: u64,
+    ledger: &pwe_asym::smallmem::SmallMem,
+) -> usize {
+    if region.is_empty() {
+        return 1;
+    }
+    let m = region.len();
+    let mid = m / 2;
+    let (lregion, rest) = region.split_at_mut(mid);
+    let (node, rregion) = rest.split_first_mut().expect("non-empty region");
+    let (wl, wr) = crate::engine::join_grain(
+        m,
+        || finalize_rec(lregion, alpha, level + 1, ledger),
+        || finalize_rec(rregion, alpha, level + 1, ledger),
+    );
+    let w = node.stored() + wl + wr;
+    node.weight = w;
+    node.initial_weight = w;
+    node.critical = is_critical_weight(w, alpha);
+    if m == 1 {
+        ledger.observe_task(level + 2);
+    }
+    w
 }
 
 #[cfg(test)]
@@ -615,6 +907,82 @@ mod tests {
             let expected = stab_bruteforce(&intervals, q);
             assert_eq!(classic.stab(q), expected);
             assert_eq!(presorted.stab(q), expected);
+        }
+    }
+
+    #[test]
+    fn parallel_build_answers_match_presorted_and_classic() {
+        let intervals = random_intervals(3000, 1000.0, 50.0, 21);
+        let queries = stabbing_queries(200, 1000.0, 22);
+        for alpha in [2usize, 8, 64] {
+            let classic = IntervalTree::build_classic(&intervals, alpha);
+            let presorted = IntervalTree::build_presorted(&intervals, alpha);
+            let (parallel, stats) = IntervalTree::build_parallel_with_stats(&intervals, alpha);
+            assert!(
+                stats.scratch.within_budget(),
+                "α={alpha}: {:?}",
+                stats.scratch
+            );
+            assert!(stats.nodes > 0);
+            for &q in &queries {
+                let expected = stab_bruteforce(&intervals, q);
+                assert_eq!(classic.stab(q), expected, "classic α={alpha} at {q}");
+                assert_eq!(presorted.stab(q), expected, "presorted α={alpha} at {q}");
+                assert_eq!(parallel.stab(q), expected, "parallel α={alpha} at {q}");
+            }
+            assert_eq!(
+                parallel.critical_count(),
+                presorted.critical_count(),
+                "identical key sets must produce identical α-labelings"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_writes_fewer_than_classic() {
+        let intervals = random_intervals(20_000, 1e6, 100.0, 3);
+        let (_, classic) = measure(Omega::symmetric(), || {
+            IntervalTree::build_classic(&intervals, 2)
+        });
+        let (_, parallel) = measure(Omega::symmetric(), || {
+            IntervalTree::build_parallel(&intervals, 2)
+        });
+        assert!(
+            parallel.writes < classic.writes,
+            "engine construction should write less: {} vs {}",
+            parallel.writes,
+            classic.writes
+        );
+    }
+
+    #[test]
+    fn parallel_build_empty_and_tiny() {
+        let t = IntervalTree::build_parallel(&[], 2);
+        assert!(t.is_empty());
+        assert_eq!(t.stab(1.0), Vec::<u64>::new());
+        let one = vec![Interval::new(1.0, 2.0, 7)];
+        let t = IntervalTree::build_parallel(&one, 2);
+        assert_eq!(t.stab(1.5), vec![7]);
+        assert_eq!(t.stab(2.0), vec![7]);
+        assert_eq!(t.stab(0.9), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn parallel_build_supports_dynamic_updates() {
+        let initial = random_intervals(400, 1000.0, 30.0, 31);
+        let mut tree = IntervalTree::build_parallel(&initial, 4);
+        let mut reference = initial.clone();
+        for (i, s) in random_intervals(400, 1000.0, 30.0, 32).iter().enumerate() {
+            let s = Interval::new(s.left, s.right, 2000 + i as u64);
+            tree.insert(&s);
+            reference.push(s);
+        }
+        for s in reference.clone().iter().take(400) {
+            assert!(tree.delete(s));
+        }
+        reference.drain(..400);
+        for &q in &stabbing_queries(80, 1000.0, 33) {
+            assert_eq!(tree.stab(q), stab_bruteforce(&reference, q));
         }
     }
 

@@ -22,13 +22,21 @@
 //!   construction (Table 1, Theorems 7.3 / 7.4).
 //!
 //! Modules: [`alpha`] (the §7.3.1 labeling rule and the optimal-α formula),
-//! [`interval`] (§7.2 interval tree, 1D stabbing queries), [`priority`]
-//! (§7.2 priority search tree, 3-sided queries), [`range_tree`] (§7.2–7.3
-//! 2D range tree, orthogonal range queries).  Every query path has a
-//! `*_scratch` variant charging its root-to-leaf frames to a small-memory
-//! ledger against the [`QUERY_SCRATCH_C`]`·log₂ n` budget of Theorem 7.1.
+//! [`engine`] (the shared parallel allocation-lean construction engine:
+//! pre-sized arenas with arithmetically computable subtree index ranges,
+//! fork-join recursion over disjoint `&mut` regions, and the k-way run
+//! merge behind the range tree's packed augmentation), [`interval`] (§7.2
+//! interval tree, 1D stabbing queries), [`priority`] (§7.2 priority search
+//! tree, 3-sided queries), [`range_tree`] (§7.2–7.3 2D range tree,
+//! orthogonal range queries).  Every query path has a `*_scratch` variant
+//! charging its root-to-leaf frames to a small-memory ledger against the
+//! [`QUERY_SCRATCH_C`]`·log₂ n` budget of Theorem 7.1; the parallel builds
+//! charge their forked recursion the same way against
+//! [`engine::build_scratch_budget`] /
+//! [`engine::range_build_scratch_budget`].
 
 pub mod alpha;
+pub mod engine;
 pub mod interval;
 pub mod priority;
 pub mod range_tree;
@@ -42,6 +50,9 @@ pub mod range_tree;
 pub const QUERY_SCRATCH_C: u64 = 6;
 
 pub use alpha::{is_critical_weight, optimal_alpha};
+pub use engine::{
+    build_scratch_budget, range_build_scratch_budget, AugBuildStats, BUILD_SCRATCH_C,
+};
 pub use interval::IntervalTree;
 pub use priority::PrioritySearchTree;
 pub use range_tree::RangeTree2D;

@@ -62,8 +62,15 @@ pub struct PrioritySearchTree {
 
 impl PrioritySearchTree {
     /// The classic construction: recursively select the maximum-priority
-    /// point and physically partition the rest around the median coordinate —
-    /// `Θ(n log n)` reads and writes.
+    /// point and partition the rest around the median coordinate —
+    /// `Θ(n log n)` reads and charged writes.  The implementation works in
+    /// place over a single scratch buffer (no per-level `Vec`s) and splits
+    /// **by index** around the `select_nth_unstable` pivot rather than by
+    /// comparing against the splitter value: a value-based
+    /// `partition(x < splitter)` sends every x-equal point right, so inputs
+    /// with many duplicate coordinates used to degenerate into unbounded
+    /// one-sided recursion (stack overflow at scale); the index split keeps
+    /// the recursion balanced no matter how many coordinates coincide.
     pub fn build_classic(points: &[PsPoint]) -> Self {
         let mut tree = PrioritySearchTree {
             nodes: Vec::new(),
@@ -73,43 +80,48 @@ impl PrioritySearchTree {
             updates_since_build: 0,
             rebuilds: 0,
         };
-        tree.root = tree.build_classic_rec(points.to_vec());
+        tree.nodes.reserve(points.len());
+        let mut buf = points.to_vec();
+        tree.root = tree.build_classic_rec(&mut buf);
         depth::add(depth::log2_ceil(points.len().max(1)));
         tree
     }
 
-    fn build_classic_rec(&mut self, mut points: Vec<PsPoint>) -> usize {
+    fn build_classic_rec(&mut self, points: &mut [PsPoint]) -> usize {
         if points.is_empty() {
             return EMPTY;
         }
-        record_reads(points.len() as u64);
-        record_writes(points.len() as u64); // the classic build copies per level
+        let m = points.len();
+        record_reads(m as u64);
+        record_writes(m as u64); // the classic build copies per level
         let best = points
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| a.point.y().partial_cmp(&b.point.y()).unwrap())
             .map(|(i, _)| i)
             .unwrap();
-        let item = points.swap_remove(best);
-        let n = points.len();
-        let splitter = if n == 0 {
+        points.swap(best, m - 1);
+        let item = points[m - 1];
+        let (survivors, _) = points.split_at_mut(m - 1);
+        let mid = survivors.len() / 2;
+        let splitter = if survivors.is_empty() {
             item.point.x()
         } else {
-            let mid = n / 2;
-            points
+            survivors
                 .select_nth_unstable_by(mid, |a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
-            points[mid].point.x()
+            survivors[mid].point.x()
         };
-        let (left, right): (Vec<PsPoint>, Vec<PsPoint>) =
-            points.into_iter().partition(|p| p.point.x() < splitter);
         let idx = self.nodes.len();
         self.nodes.push(PNode {
             item: Some(item),
             splitter,
             left: EMPTY,
             right: EMPTY,
-            size: n + 1,
+            size: m,
         });
+        // Index split: [..mid] left, [mid..] right (the pivot goes right,
+        // matching the `x ≥ splitter ⇒ right` search convention).
+        let (left, right) = survivors.split_at_mut(mid);
         let l = self.build_classic_rec(left);
         let r = self.build_classic_rec(right);
         self.nodes[idx].left = l;
@@ -203,6 +215,92 @@ impl PrioritySearchTree {
         self.nodes[idx].left = l;
         self.nodes[idx].right = r;
         idx
+    }
+
+    /// The parallel allocation-lean construction (the shared engine of
+    /// [`crate::engine`]): sort by x once, then build the heap-with-splitters
+    /// in place over the x-sorted buffer.  Instead of a shared tournament
+    /// tree, each recursion step selects the surviving maximum-priority
+    /// point and the survivor median with validity-flag scans (`O(width)`
+    /// reads, `O(1)` writes per node), so disjoint coordinate ranges touch
+    /// disjoint state and the recursion forks with `par_join` over disjoint
+    /// `&mut` regions of a pre-sized preorder node arena (subtree root at
+    /// the region base, the left subtree's `⌊(c-1)/2⌋` slots immediately
+    /// after).  `O(n log n)` reads, `O(n)` writes after the sort, identical
+    /// arena at every thread count.
+    pub fn build_parallel(points: &[PsPoint]) -> Self {
+        Self::build_parallel_with_stats(points).0
+    }
+
+    /// [`PrioritySearchTree::build_parallel`] plus build statistics
+    /// (budgeted at [`crate::engine::build_scratch_budget`]).
+    pub fn build_parallel_with_stats(points: &[PsPoint]) -> (Self, crate::engine::AugBuildStats) {
+        let mut tree = PrioritySearchTree {
+            nodes: Vec::new(),
+            root: EMPTY,
+            len: points.len(),
+            built_len: points.len(),
+            updates_since_build: 0,
+            rebuilds: 0,
+        };
+        let n = points.len();
+        if n == 0 {
+            return (tree, crate::engine::AugBuildStats::default());
+        }
+        let ledger =
+            pwe_asym::smallmem::SmallMem::with_budget(crate::engine::build_scratch_budget(n));
+        // Sort by x (write-efficient sort costs: n log n reads, n writes).
+        let mut sorted: Vec<PsPoint> = points.to_vec();
+        sorted.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+        record_reads(n as u64 * depth::log2_ceil(n.max(2)));
+        record_writes(n as u64);
+        // Validity flags are the only mutable shared state; they split along
+        // the same coordinate ranges as the node arena.
+        let mut valid = vec![true; n];
+        record_writes(n as u64);
+        let mut nodes = vec![
+            PNode {
+                item: None,
+                splitter: 0.0,
+                left: EMPTY,
+                right: EMPTY,
+                size: 0,
+            };
+            n
+        ];
+        build_par_rec(&sorted, 0, &mut valid, &mut nodes, 0, n, 0, &ledger);
+        tree.nodes = nodes;
+        tree.root = 0;
+        depth::add(2 * depth::log2_ceil(n.max(2)));
+        let stats = crate::engine::AugBuildStats {
+            nodes: n,
+            aug_len: 0,
+            scratch: ledger.report(),
+        };
+        (tree, stats)
+    }
+
+    /// Deterministic fingerprint of the arena layout (items, splitters,
+    /// child indices and sizes in slot order).  Diagnostic: uncharged; used
+    /// by `tests/parallel_stress.rs`.
+    pub fn layout_digest(&self) -> u64 {
+        let mut d = crate::engine::Digest::new();
+        d.word(crate::engine::digest_idx(self.root));
+        for node in &self.nodes {
+            match node.item {
+                Some(p) => {
+                    d.word(f64_key(p.point.x()));
+                    d.word(f64_key(p.point.y()));
+                    d.word(p.id);
+                }
+                None => d.word(u64::MAX),
+            }
+            d.word(f64_key(node.splitter));
+            d.word(crate::engine::digest_idx(node.left));
+            d.word(crate::engine::digest_idx(node.right));
+            d.word(node.size as u64);
+        }
+        d.finish()
     }
 
     /// Number of points stored.
@@ -461,10 +559,121 @@ impl PrioritySearchTree {
         if self.updates_since_build > self.built_len.max(16) {
             let points = self.collect_all();
             record_reads(points.len() as u64);
-            *self = PrioritySearchTree::build_presorted(&points);
+            *self = PrioritySearchTree::build_parallel(&points);
             self.rebuilds += 1;
         }
     }
+}
+
+/// One step of the parallel construction over the position range
+/// `[pos_lo, pos_lo + valid.len())` holding exactly `count` surviving
+/// points: scan for the surviving maximum-priority point (ties break toward
+/// the smaller position), retire it, find the survivor median by rank, and
+/// fork the halves over disjoint `&mut` flag/arena regions.
+#[allow(clippy::too_many_arguments)]
+fn build_par_rec(
+    sorted: &[PsPoint],
+    pos_lo: usize,
+    valid: &mut [bool],
+    nodes: &mut [PNode],
+    node_base: usize,
+    count: usize,
+    level: u64,
+    ledger: &pwe_asym::smallmem::SmallMem,
+) {
+    debug_assert_eq!(nodes.len(), count);
+    if count == 0 {
+        return;
+    }
+    let width = valid.len();
+    record_reads(width as u64);
+    let mut best: Option<(u64, usize)> = None;
+    for (j, &v) in valid.iter().enumerate() {
+        if v {
+            let k = f64_key(sorted[pos_lo + j].point.y());
+            if best.is_none_or(|(bk, _)| k > bk) {
+                best = Some((k, j));
+            }
+        }
+    }
+    let (_, best) = best.expect("count > 0 means a survivor exists");
+    valid[best] = false;
+    record_writes(1);
+    let item = sorted[pos_lo + best];
+    let remaining = count - 1;
+    if remaining == 0 {
+        nodes[0] = PNode {
+            item: Some(item),
+            splitter: item.point.x(),
+            left: EMPTY,
+            right: EMPTY,
+            size: 1,
+        };
+        record_writes(1);
+        ledger.observe_task(level + 4);
+        return;
+    }
+    // The survivor of rank `mid_rank` (by position, i.e. by x) is the
+    // median; survivors strictly before it go left.
+    let mid_rank = remaining / 2;
+    record_reads(width as u64);
+    let mut seen = 0usize;
+    let mut median_rel = usize::MAX;
+    for (j, &v) in valid.iter().enumerate() {
+        if v {
+            if seen == mid_rank {
+                median_rel = j;
+                break;
+            }
+            seen += 1;
+        }
+    }
+    debug_assert_ne!(median_rel, usize::MAX);
+    let splitter = sorted[pos_lo + median_rel].point.x();
+    let left_count = mid_rank;
+    let right_count = remaining - mid_rank;
+    nodes[0] = PNode {
+        item: Some(item),
+        splitter,
+        left: if left_count > 0 { node_base + 1 } else { EMPTY },
+        right: if right_count > 0 {
+            node_base + 1 + left_count
+        } else {
+            EMPTY
+        },
+        size: count,
+    };
+    record_writes(1);
+    let (lvalid, rvalid) = valid.split_at_mut(median_rel);
+    let (_, rest) = nodes.split_first_mut().expect("count > 0");
+    let (lnodes, rnodes) = rest.split_at_mut(left_count);
+    crate::engine::join_grain(
+        count,
+        || {
+            build_par_rec(
+                sorted,
+                pos_lo,
+                lvalid,
+                lnodes,
+                node_base + 1,
+                left_count,
+                level + 1,
+                ledger,
+            )
+        },
+        || {
+            build_par_rec(
+                sorted,
+                pos_lo + median_rel,
+                rvalid,
+                rnodes,
+                node_base + 1 + left_count,
+                right_count,
+                level + 1,
+                ledger,
+            )
+        },
+    );
 }
 
 /// Brute-force 3-sided query used as the tests' oracle.
@@ -501,10 +710,88 @@ mod tests {
         let points = make_points(600, 1);
         let classic = PrioritySearchTree::build_classic(&points);
         let presorted = PrioritySearchTree::build_presorted(&points);
+        let parallel = PrioritySearchTree::build_parallel(&points);
         for &(lo, hi, y) in &random_three_sided_queries(100, 0.4, 2) {
             let expected = three_sided_bruteforce(&points, lo, hi, y);
             assert_eq!(classic.query_3sided(lo, hi, y), expected);
             assert_eq!(presorted.query_3sided(lo, hi, y), expected);
+            assert_eq!(parallel.query_3sided(lo, hi, y), expected);
+        }
+    }
+
+    #[test]
+    fn duplicate_x_inputs_stay_balanced() {
+        // Regression: the value-based partition used to send every x-equal
+        // point right, so an all-equal-x input recursed once per point
+        // (unbounded one-sided recursion).  The index split keeps the
+        // recursion balanced: height O(log n) and queries stay exact.
+        let n = 4096usize;
+        let points: Vec<PsPoint> = (0..n)
+            .map(|i| PsPoint {
+                point: Point2::xy(0.5, (i as f64 * 0.37) % 1.0),
+                id: i as u64,
+            })
+            .collect();
+        for tree in [
+            PrioritySearchTree::build_classic(&points),
+            PrioritySearchTree::build_parallel(&points),
+        ] {
+            assert!(
+                tree.height() <= 2 * 12 + 4,
+                "all-equal-x build must stay balanced, got height {}",
+                tree.height()
+            );
+            assert_eq!(
+                tree.query_3sided(0.0, 1.0, 0.9),
+                three_sided_bruteforce(&points, 0.0, 1.0, 0.9)
+            );
+            assert_eq!(
+                tree.query_3sided(0.6, 1.0, 0.0),
+                Vec::<u64>::new(),
+                "no point has x > 0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_writes_fewer_than_classic() {
+        let points = make_points(20_000, 3);
+        let (_, classic) = measure(Omega::symmetric(), || {
+            PrioritySearchTree::build_classic(&points)
+        });
+        let (_, parallel) = measure(Omega::symmetric(), || {
+            PrioritySearchTree::build_parallel(&points)
+        });
+        assert!(
+            parallel.writes < classic.writes,
+            "engine construction should write less: {} vs {}",
+            parallel.writes,
+            classic.writes
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_balanced_and_supports_updates() {
+        let points = make_points(4096, 5);
+        let (tree, stats) = PrioritySearchTree::build_parallel_with_stats(&points);
+        assert!(stats.scratch.within_budget(), "{:?}", stats.scratch);
+        assert!(tree.height() <= 16, "height {} too large", tree.height());
+
+        let mut tree = PrioritySearchTree::build_parallel(&points[..300]);
+        let mut reference: Vec<PsPoint> = points[..300].to_vec();
+        for (i, p) in make_points(300, 6).into_iter().enumerate() {
+            let p = PsPoint {
+                point: p.point,
+                id: 5000 + i as u64,
+            };
+            tree.insert(p);
+            reference.push(p);
+        }
+        for &(lo, hi, y) in &random_three_sided_queries(50, 0.3, 7) {
+            assert_eq!(
+                tree.query_3sided(lo, hi, y),
+                three_sided_bruteforce(&reference, lo, hi, y)
+            );
         }
     }
 

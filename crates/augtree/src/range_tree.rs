@@ -9,18 +9,38 @@
 //! at the price of visiting up to `O(α log_α n)` outer nodes per query
 //! (Table 1, last two rows).
 //!
+//! **Representation.**  Construction goes through the shared parallel
+//! engine of [`crate::engine`]: the `2n−1` outer nodes live in a pre-sized
+//! preorder arena whose subtree regions are computable by index arithmetic,
+//! and every critical node's inner structure is a **sorted-by-y flat run
+//! packed into one shared augmentation arena** (own run first, then the
+//! left subtree's runs, then the right's — so every subtree also owns a
+//! contiguous, arithmetically pre-sized augmentation region).  Runs are
+//! produced bottom-up in parallel: a critical node k-way-merges the runs of
+//! its maximal critical descendants (`O(α)` of them, Lemma 7.1) in a single
+//! pass, writing each point once per critical ancestor — the `Θ(n log_α n)`
+//! augmentation bound laid out contiguously.  Inner queries are binary
+//! searches over contiguous memory; updates splice a small sorted overflow
+//! run per node (`Inner::extra`) instead of rebalancing B-trees, and
+//! reconstructions rebuild the packed runs.
+//!
 //! Deletions are handled by tombstoning (the paper's "mark and rebuild when a
 //! constant fraction is dead") and insertions by leaf splitting plus
 //! reconstruction of any critical subtree whose weight has doubled.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth;
+use pwe_asym::smallmem::SmallMem;
 use pwe_geom::bbox::Rect;
 use pwe_geom::point::Point2;
+use pwe_primitives::hash::DetState;
 
-use crate::alpha::is_critical_weight;
+use crate::alpha::{is_critical_weight, is_critical_weight_uncharged};
+use crate::engine::{
+    digest_idx, join_grain, kway_merge_into, range_build_scratch_budget, AugBuildStats, Digest,
+};
 use crate::interval::f64_key;
 
 const EMPTY: usize = usize::MAX;
@@ -34,6 +54,60 @@ pub struct RtPoint {
     pub id: u64,
 }
 
+/// The y-order key of a stored point: unique per point (ties on y break by
+/// id), so runs have strictly increasing keys and merges are deterministic.
+#[inline]
+fn ykey(p: &RtPoint) -> (u64, u64) {
+    (f64_key(p.point.y()), p.id)
+}
+
+/// A critical node's inner structure: a y-sorted **main run** — packed in
+/// the tree-wide augmentation arena right after construction, or owned by
+/// the node once updates have repacked it — plus a small y-sorted overflow
+/// run that absorbs post-build insertions (spliced in place — no per-node
+/// B-tree).  The overflow run is capped at ~`√(main)` words
+/// ([`extra_cap`]): when a splice overflows the cap, main + overflow merge
+/// into a fresh owned run, so a single insert never moves more than
+/// `O(√m)` words and the repack cost amortizes to `O(√m)` per insert.
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    /// Offset of the arena-backed main run in [`RangeTree2D::aug`].
+    base_off: usize,
+    /// Length of the arena-backed main run (0 once repacked or for
+    /// dynamically created nodes).
+    base_len: usize,
+    /// Owned main run replacing the arena-backed one after the first
+    /// repack (empty while the node is arena-backed).
+    owned: Vec<RtPoint>,
+    /// Overflow run for post-build insertions, sorted by [`ykey`].
+    extra: Vec<RtPoint>,
+}
+
+/// Cap on a node's overflow run before it is merged back into the main run.
+#[inline]
+fn extra_cap(main_len: usize) -> usize {
+    main_len.isqrt().max(64)
+}
+
+/// Merge two y-sorted runs into a fresh vector (keys are unique, so the
+/// order is strict and deterministic).
+fn merge_runs(a: &[RtPoint], b: &[RtPoint]) -> Vec<RtPoint> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if ykey(&a[i]) < ykey(&b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 #[derive(Debug, Clone, Default)]
 struct RNode {
     /// Split value: left subtree holds x < split, right subtree x ≥ split.
@@ -42,9 +116,8 @@ struct RNode {
     right: usize,
     /// The point stored here (leaves only).
     leaf: Option<RtPoint>,
-    /// Inner structure (points of the subtree sorted by y) — present only on
-    /// critical nodes.
-    inner: Option<BTreeMap<(u64, u64), RtPoint>>,
+    /// Inner structure — present only on critical nodes.
+    inner: Option<Inner>,
     /// Subtree weight (points + 1), maintained only on critical nodes.
     weight: usize,
     initial_weight: usize,
@@ -70,18 +143,31 @@ pub struct RangeTree2D {
     alpha: usize,
     live: usize,
     dead: usize,
-    deleted: HashSet<u64>,
+    /// Shared augmentation arena: every critical node's y-sorted run, packed
+    /// contiguously in preorder.  Reconstructed segments are appended;
+    /// superseded segments become garbage until the next full rebuild (like
+    /// detached node-arena slots).
+    aug: Vec<RtPoint>,
+    deleted: HashSet<u64, DetState>,
     /// Number of reconstructions triggered by updates (diagnostic).
     pub rebuilds: u64,
 }
 
 impl RangeTree2D {
-    /// Build a range tree over `points` with parameter `α ≥ 2`.
+    /// Build a range tree over `points` with parameter `α ≥ 2` through the
+    /// parallel engine (see the module docs for the layout).
     ///
-    /// Costs `O(n log n)` reads (the sort plus the per-critical-node inner
-    /// structures) and `O(n log_α n)` writes — the classic construction is
-    /// the special case α = 2 in which every node is critical.
+    /// Costs `O(n log n)` reads (the sort plus the run merges) and
+    /// `O(n log_α n)` writes — each point is written once per critical
+    /// ancestor.
     pub fn build(points: &[RtPoint], alpha: usize) -> Self {
+        Self::build_with_stats(points, alpha).0
+    }
+
+    /// [`RangeTree2D::build`] plus build statistics (arena sizes and the
+    /// small-memory ledger snapshot of the forked recursion, budgeted at
+    /// [`crate::engine::range_build_scratch_budget`]).
+    pub fn build_with_stats(points: &[RtPoint], alpha: usize) -> (Self, AugBuildStats) {
         assert!(alpha >= 2, "α must be at least 2");
         let mut tree = RangeTree2D {
             nodes: Vec::new(),
@@ -89,7 +175,62 @@ impl RangeTree2D {
             alpha,
             live: points.len(),
             dead: 0,
-            deleted: HashSet::new(),
+            aug: Vec::new(),
+            deleted: HashSet::default(),
+            rebuilds: 0,
+        };
+        if points.is_empty() {
+            return (tree, AugBuildStats::default());
+        }
+        let n = points.len();
+        let ledger = SmallMem::with_budget(range_build_scratch_budget(n, alpha));
+        let mut sorted = points.to_vec();
+        sorted.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+        record_reads(n as u64 * depth::log2_ceil(n.max(2)));
+        record_writes(n as u64);
+
+        // Pre-size both arenas by index arithmetic alone, then fill them by
+        // forked recursion over disjoint regions.
+        let sizes = AugSizes::new(n, alpha);
+        let aug_total = sizes.root_total(n);
+        let mut nodes = vec![RNode::default(); 2 * n - 1];
+        let filler = RtPoint {
+            point: Point2::xy(0.0, 0.0),
+            id: 0,
+        };
+        let mut aug = vec![filler; aug_total];
+        build_par_rec(
+            &sorted, &mut nodes, 0, &mut aug, 0, alpha, &sizes, true, 0, &ledger,
+        );
+        tree.nodes = nodes;
+        tree.aug = aug;
+        tree.root = 0;
+        depth::add(2 * depth::log2_ceil(n.max(2)));
+        let stats = AugBuildStats {
+            nodes: 2 * n - 1,
+            aug_len: aug_total,
+            scratch: ledger.report(),
+        };
+        (tree, stats)
+    }
+
+    /// The classic sequential construction, kept as the write-inefficient
+    /// baseline of the `speedup -- --sweep` harness: at every critical node
+    /// the subtree's points are *copied* into a freshly allocated run and
+    /// sorted by y (one allocation and `Θ(m log m)` comparison reads per
+    /// critical node, `Θ(n log n)` writes at the textbook α = 2 where every
+    /// node is critical).  Queries and updates behave identically to the
+    /// engine-built tree; only the construction cost profile differs.
+    pub fn build_classic(points: &[RtPoint], alpha: usize) -> Self {
+        assert!(alpha >= 2, "α must be at least 2");
+        let mut tree = RangeTree2D {
+            nodes: Vec::new(),
+            root: EMPTY,
+            alpha,
+            live: points.len(),
+            dead: 0,
+            aug: Vec::new(),
+            deleted: HashSet::default(),
             rebuilds: 0,
         };
         if points.is_empty() {
@@ -99,16 +240,14 @@ impl RangeTree2D {
         sorted.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
         record_reads(points.len() as u64 * depth::log2_ceil(points.len().max(2)));
         record_writes(points.len() as u64);
-        tree.root = tree.build_rec(&sorted);
+        tree.root = tree.build_classic_rec(&sorted);
         depth::add(depth::log2_ceil(points.len()));
         tree
     }
 
-    fn build_rec(&mut self, sorted: &[RtPoint]) -> usize {
+    fn build_classic_rec(&mut self, sorted: &[RtPoint]) -> usize {
         let n = sorted.len();
-        if n == 0 {
-            return EMPTY;
-        }
+        debug_assert!(n > 0);
         let idx = self.nodes.len();
         self.nodes.push(RNode::default());
         record_writes(1);
@@ -120,17 +259,18 @@ impl RangeTree2D {
             node.right = EMPTY;
             node.weight = 2;
             node.initial_weight = 2;
-            node.critical = true; // leaves are always critical
-            let mut inner = BTreeMap::new();
-            inner.insert((f64_key(sorted[0].point.y()), sorted[0].id), sorted[0]);
-            node.inner = Some(inner);
+            node.critical = true; // weight 2 is always critical
+            node.inner = Some(Inner {
+                owned: vec![sorted[0]],
+                ..Inner::default()
+            });
             record_writes(1);
             return idx;
         }
         let mid = n / 2;
         let split = sorted[mid].point.x();
-        let l = self.build_rec(&sorted[..mid]);
-        let r = self.build_rec(&sorted[mid..]);
+        let l = self.build_classic_rec(&sorted[..mid]);
+        let r = self.build_classic_rec(&sorted[mid..]);
         let weight = n + 1;
         let critical = is_critical_weight(weight, self.alpha) || idx == 0;
         let node = &mut self.nodes[idx];
@@ -141,14 +281,16 @@ impl RangeTree2D {
         node.initial_weight = weight;
         node.critical = critical;
         if critical {
-            // The inner structure holds every point of the subtree, sorted by y.
-            let mut inner = BTreeMap::new();
-            for p in sorted {
-                inner.insert((f64_key(p.point.y()), p.id), *p);
-            }
+            // Copy the subtree's points into a fresh per-node run and sort
+            // it by y — the per-critical-level copy the engine eliminates.
+            let mut run = sorted.to_vec();
+            run.sort_by_key(ykey);
+            record_reads(n as u64 * depth::log2_ceil(n.max(2)));
             record_writes(n as u64);
-            record_reads(n as u64);
-            self.nodes[idx].inner = Some(inner);
+            self.nodes[idx].inner = Some(Inner {
+                owned: run,
+                ..Inner::default()
+            });
         }
         idx
     }
@@ -178,8 +320,45 @@ impl RangeTree2D {
     pub fn augmentation_size(&self) -> usize {
         self.nodes
             .iter()
-            .filter_map(|n| n.inner.as_ref().map(|m| m.len()))
+            .filter_map(|n| {
+                n.inner
+                    .as_ref()
+                    .map(|i| i.base_len + i.owned.len() + i.extra.len())
+            })
             .sum()
+    }
+
+    /// Deterministic fingerprint of the arena layout — outer nodes, inner
+    /// run offsets and the augmentation arena contents, in slot order.
+    /// Diagnostic: uncharged; used by `tests/parallel_stress.rs` to pin the
+    /// layout as bit-identical across thread counts and processes.
+    pub fn layout_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.word(digest_idx(self.root));
+        for node in &self.nodes {
+            d.word(f64_key(node.split));
+            d.word(digest_idx(node.left));
+            d.word(digest_idx(node.right));
+            d.word(node.leaf.map_or(u64::MAX, |p| p.id));
+            d.word(node.weight as u64);
+            d.word(node.critical as u64);
+            match &node.inner {
+                Some(inner) => {
+                    d.word(inner.base_off as u64);
+                    d.word(inner.base_len as u64);
+                    for p in inner.owned.iter().chain(&inner.extra) {
+                        d.word(p.id);
+                    }
+                }
+                None => d.word(u64::MAX),
+            }
+        }
+        for p in &self.aug {
+            let (k, id) = ykey(p);
+            d.word(k);
+            d.word(id);
+        }
+        d.finish()
     }
 
     /// Orthogonal range query: ids of live points inside `rect`, ascending.
@@ -243,10 +422,33 @@ impl RangeTree2D {
         scratch.free(1);
     }
 
+    /// Report the points of one y-sorted run whose y lies in the query's
+    /// y-range: a binary search for the first candidate (`O(log m)` probe
+    /// reads over contiguous memory), then an output-sensitive scan.
+    fn report_run(&self, run: &[RtPoint], rect: &Rect, out: &mut Vec<u64>) {
+        if run.is_empty() {
+            return;
+        }
+        let lo_key = (f64_key(rect.y_min), 0u64);
+        let start = run.partition_point(|p| ykey(p) < lo_key);
+        record_reads(depth::log2_ceil(run.len().max(2)));
+        for p in &run[start..] {
+            record_read();
+            if f64_key(p.point.y()) > f64_key(rect.y_max) {
+                break;
+            }
+            if !self.deleted.contains(&p.id) {
+                debug_assert!(rect.contains(&p.point));
+                out.push(p.id);
+            }
+        }
+    }
+
     /// Report the points of `v`'s subtree whose y lies in the query's y-range
     /// (x is already known to be inside).  Critical nodes answer from their
-    /// inner structure; secondary nodes delegate to their maximal critical
-    /// descendants (at most `O(α)` levels down, Corollary 7.1).
+    /// packed base run plus the overflow run; secondary nodes delegate to
+    /// their maximal critical descendants (at most `O(α)` levels down,
+    /// Corollary 7.1).
     fn report_y_range(
         &self,
         v: usize,
@@ -261,13 +463,13 @@ impl RangeTree2D {
         record_read();
         let node = &self.nodes[v];
         if let Some(inner) = &node.inner {
-            for (_, p) in inner.range((f64_key(rect.y_min), 0)..=(f64_key(rect.y_max), u64::MAX)) {
-                record_read();
-                if !self.deleted.contains(&p.id) {
-                    debug_assert!(rect.contains(&p.point));
-                    out.push(p.id);
-                }
-            }
+            let main: &[RtPoint] = if inner.base_len > 0 {
+                &self.aug[inner.base_off..inner.base_off + inner.base_len]
+            } else {
+                &inner.owned
+            };
+            self.report_run(main, rect, out);
+            self.report_run(&inner.extra, rect, out);
         } else if let Some(p) = node.leaf {
             if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
                 out.push(p.id);
@@ -280,8 +482,9 @@ impl RangeTree2D {
     }
 
     /// Insert a point.  Touches the inner structures of the `O(log_α n)`
-    /// critical ancestors only; rebuilds the topmost critical subtree whose
-    /// weight has doubled since its construction.
+    /// critical ancestors only (a splice into each one's sorted overflow
+    /// run); rebuilds the topmost critical subtree whose weight has doubled
+    /// since its construction.
     pub fn insert(&mut self, p: RtPoint) -> RtUpdateStats {
         let mut stats = RtUpdateStats::default();
         self.live += 1;
@@ -330,22 +533,47 @@ impl RangeTree2D {
             node.critical = is_critical_weight(3, self.alpha);
             record_writes(1);
         }
-        // The split node keeps (or drops) its inner structure according to its
-        // new criticality; the new point is added below.
+        // The split node keeps (or drops) its inner structure according to
+        // its new criticality; the new point is added below.
         if !self.nodes[v].critical {
             self.nodes[v].inner = None;
         } else if self.nodes[v].inner.is_none() {
-            let mut inner = BTreeMap::new();
-            inner.insert((f64_key(old.point.y()), old.id), old);
-            self.nodes[v].inner = Some(inner);
+            self.nodes[v].inner = Some(Inner {
+                owned: vec![old],
+                ..Inner::default()
+            });
         }
 
-        // Add the point to the inner structure of every critical ancestor.
+        // Splice the point into the overflow run of every critical ancestor;
+        // an overflow run past its √(main) cap is merged back into an owned
+        // main run (amortized O(√m) moved words per insert).
+        let aug = &self.aug;
         for &u in &path {
             if self.nodes[u].critical {
                 self.nodes[u].weight += 1;
                 if let Some(inner) = self.nodes[u].inner.as_mut() {
-                    inner.insert((f64_key(p.point.y()), p.id), p);
+                    let pos = inner.extra.partition_point(|q| ykey(q) < ykey(&p));
+                    inner.extra.insert(pos, p);
+                    let main_len = if inner.base_len > 0 {
+                        inner.base_len
+                    } else {
+                        inner.owned.len()
+                    };
+                    if inner.extra.len() > extra_cap(main_len) {
+                        let merged = {
+                            let main: &[RtPoint] = if inner.base_len > 0 {
+                                &aug[inner.base_off..inner.base_off + inner.base_len]
+                            } else {
+                                &inner.owned
+                            };
+                            merge_runs(main, &inner.extra)
+                        };
+                        record_reads(merged.len() as u64);
+                        record_writes(merged.len() as u64);
+                        inner.owned = merged;
+                        inner.base_len = 0;
+                        inner.extra = Vec::new();
+                    }
                 }
                 record_writes(2);
                 stats.critical_touched += 1;
@@ -364,14 +592,15 @@ impl RangeTree2D {
     }
 
     fn make_leaf(p: RtPoint) -> RNode {
-        let mut inner = BTreeMap::new();
-        inner.insert((f64_key(p.point.y()), p.id), p);
         RNode {
             split: p.point.x(),
             left: EMPTY,
             right: EMPTY,
             leaf: Some(p),
-            inner: Some(inner),
+            inner: Some(Inner {
+                owned: vec![p],
+                ..Inner::default()
+            }),
             weight: 2,
             initial_weight: 2,
             critical: true,
@@ -384,8 +613,6 @@ impl RangeTree2D {
         if self.deleted.contains(&id) {
             return false;
         }
-        // Existence check against the root's inner structure (the root is
-        // always critical, so it indexes every live point).
         let exists = self.collect_live().iter().any(|p| p.id == id);
         if !exists {
             return false;
@@ -406,7 +633,12 @@ impl RangeTree2D {
 
     /// All live points.
     pub fn collect_live(&self) -> Vec<RtPoint> {
-        fn rec(nodes: &[RNode], v: usize, deleted: &HashSet<u64>, out: &mut Vec<RtPoint>) {
+        fn rec(
+            nodes: &[RNode],
+            v: usize,
+            deleted: &HashSet<u64, DetState>,
+            out: &mut Vec<RtPoint>,
+        ) {
             if v == EMPTY {
                 return;
             }
@@ -428,7 +660,12 @@ impl RangeTree2D {
     fn rebuild_subtree(&mut self, v: usize) {
         self.rebuilds += 1;
         // Collect the live points below v.
-        fn rec(nodes: &[RNode], v: usize, deleted: &HashSet<u64>, out: &mut Vec<RtPoint>) {
+        fn rec(
+            nodes: &[RNode],
+            v: usize,
+            deleted: &HashSet<u64, DetState>,
+            out: &mut Vec<RtPoint>,
+        ) {
             if v == EMPTY {
                 return;
             }
@@ -447,12 +684,20 @@ impl RangeTree2D {
         if points.is_empty() {
             return;
         }
+        // Rebuild through the engine and splice both arenas into ours; the
+        // replaced subtree's segments become garbage until the next full
+        // rebuild, like detached node slots.
         let rebuilt = RangeTree2D::build(&points, self.alpha);
-        let offset = self.nodes.len();
-        let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + offset };
+        let node_off = self.nodes.len();
+        let aug_off = self.aug.len();
+        self.aug.extend_from_slice(&rebuilt.aug);
+        let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + node_off };
         for mut node in rebuilt.nodes {
             node.left = remap(node.left);
             node.right = remap(node.right);
+            if let Some(inner) = node.inner.as_mut() {
+                inner.base_off += aug_off;
+            }
             self.nodes.push(node);
         }
         let new_root = remap(rebuilt.root);
@@ -462,6 +707,205 @@ impl RangeTree2D {
         if v == self.root {
             self.nodes[self.root].critical = true;
         }
+    }
+}
+
+// ------------------------------------------------------ parallel build engine
+
+/// Exact augmentation-arena words for every distinct subtree size of the
+/// balanced split of `n` — the split `k → (⌊k/2⌋, ⌈k/2⌉)` produces only
+/// `O(log² n)` distinct sizes, so one small table computed up front lets the
+/// forked recursion look region sizes up in `O(log log)` instead of
+/// re-walking each subtree at every node.  Pure index arithmetic, uncharged
+/// (the criticality predicate is charged once per node when the node is
+/// written).
+struct AugSizes {
+    /// `(subtree point count, aug words)`, sorted by count.
+    table: Vec<(usize, usize)>,
+}
+
+impl AugSizes {
+    fn new(n: usize, alpha: usize) -> Self {
+        use std::collections::BTreeSet;
+        let mut sizes = BTreeSet::new();
+        let mut stack = vec![n];
+        while let Some(k) = stack.pop() {
+            if k > 1 && sizes.insert(k) {
+                stack.push(k / 2);
+                stack.push(k - k / 2);
+            }
+        }
+        let mut table: Vec<(usize, usize)> = vec![(0, 0), (1, 1)];
+        for k in sizes {
+            if k <= 1 {
+                continue;
+            }
+            let own = if is_critical_weight_uncharged(k + 1, alpha) {
+                k
+            } else {
+                0
+            };
+            let mid = k / 2;
+            let words = own + Self::lookup(&table, mid) + Self::lookup(&table, k - mid);
+            table.push((k, words));
+        }
+        AugSizes { table }
+    }
+
+    fn lookup(table: &[(usize, usize)], k: usize) -> usize {
+        let i = table
+            .binary_search_by_key(&k, |e| e.0)
+            .expect("every subtree size of the balanced split is tabulated");
+        table[i].1
+    }
+
+    /// Aug words of a non-root subtree over `k` points.
+    fn get(&self, k: usize) -> usize {
+        Self::lookup(&self.table, k)
+    }
+
+    /// Aug words of the whole tree: the root's own run is unconditional
+    /// (the root is always treated as critical).
+    fn root_total(&self, n: usize) -> usize {
+        if n <= 1 {
+            return n;
+        }
+        let mid = n / 2;
+        n + self.get(mid) + self.get(n - mid)
+    }
+}
+
+/// Build the subtree over `sorted` into the preorder node region `nodes`
+/// (exactly `2·|sorted|−1` slots, subtree root first) and the augmentation
+/// region `aug` (exactly [`aug_len_for`] words: own run first, then the left
+/// subtree's region, then the right's), forking over disjoint `&mut`
+/// regions.  Returns the subtree's maximal critical runs as
+/// `(offset, len)` pairs **relative to `aug`**.
+#[allow(clippy::too_many_arguments)]
+fn build_par_rec(
+    sorted: &[RtPoint],
+    nodes: &mut [RNode],
+    node_base: usize,
+    aug: &mut [RtPoint],
+    aug_base: usize,
+    alpha: usize,
+    sizes: &AugSizes,
+    is_root: bool,
+    level: u64,
+    ledger: &SmallMem,
+) -> Vec<(usize, usize)> {
+    let m = sorted.len();
+    debug_assert_eq!(nodes.len(), 2 * m - 1);
+    if m == 1 {
+        let p = sorted[0];
+        aug[0] = p;
+        nodes[0] = RNode {
+            split: p.point.x(),
+            left: EMPTY,
+            right: EMPTY,
+            leaf: Some(p),
+            inner: Some(Inner {
+                base_off: aug_base,
+                base_len: 1,
+                ..Inner::default()
+            }),
+            weight: 2,
+            initial_weight: 2,
+            critical: true, // weight 2 is always critical
+        };
+        record_writes(2);
+        ledger.observe_task(level + 4);
+        return vec![(0, 1)];
+    }
+    let mid = m / 2;
+    let split = sorted[mid].point.x();
+    let weight = m + 1;
+    let critical = is_critical_weight(weight, alpha) || is_root;
+    let own_len = if critical { m } else { 0 };
+    let left_aug_len = sizes.get(mid);
+
+    let (own_seg, rest) = aug.split_at_mut(own_len);
+    let (left_aug, right_aug) = rest.split_at_mut(left_aug_len);
+    let (node0, rest_nodes) = nodes.split_first_mut().expect("m ≥ 2");
+    let (left_nodes, right_nodes) = rest_nodes.split_at_mut(2 * mid - 1);
+    let (ls, rs) = sorted.split_at(mid);
+    let left_base = aug_base + own_len;
+    let right_base = left_base + left_aug_len;
+
+    let ((lruns, lview), (rruns, rview)) = join_grain(
+        m,
+        move || {
+            let runs = build_par_rec(
+                ls,
+                left_nodes,
+                node_base + 1,
+                &mut *left_aug,
+                left_base,
+                alpha,
+                sizes,
+                false,
+                level + 1,
+                ledger,
+            );
+            (runs, &*left_aug)
+        },
+        move || {
+            let runs = build_par_rec(
+                rs,
+                right_nodes,
+                node_base + 1 + (2 * mid - 1),
+                &mut *right_aug,
+                right_base,
+                alpha,
+                sizes,
+                false,
+                level + 1,
+                ledger,
+            );
+            (runs, &*right_aug)
+        },
+    );
+
+    *node0 = RNode {
+        split,
+        left: node_base + 1,
+        right: node_base + 1 + (2 * mid - 1),
+        leaf: None,
+        inner: None,
+        weight,
+        initial_weight: weight,
+        critical,
+    };
+    record_writes(1);
+
+    if critical {
+        // Merge the maximal critical runs of both children (O(α) of them,
+        // Lemma 7.1) into this node's own contiguous run in one pass.
+        let mut srcs: Vec<&[RtPoint]> = Vec::with_capacity(lruns.len() + rruns.len());
+        for &(off, len) in &lruns {
+            srcs.push(&lview[off..off + len]);
+        }
+        for &(off, len) in &rruns {
+            srcs.push(&rview[off..off + len]);
+        }
+        kway_merge_into(&srcs, own_seg, &ykey, ledger, level);
+        node0.inner = Some(Inner {
+            base_off: aug_base,
+            base_len: m,
+            ..Inner::default()
+        });
+        vec![(0, m)]
+    } else {
+        // Not critical: expose the children's runs, rebased to this region
+        // (own_len is 0 here, so the left region starts at offset 0).
+        let mut runs = lruns;
+        runs.reserve(rruns.len());
+        runs.extend(
+            rruns
+                .into_iter()
+                .map(|(off, len)| (left_aug_len + off, len)),
+        );
+        runs
     }
 }
 
@@ -480,6 +924,7 @@ pub fn range_bruteforce(points: &[RtPoint], rect: &Rect) -> Vec<u64> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use pwe_asym::cost::{measure, Omega};
     use pwe_geom::generators::{random_query_rects, uniform_points_2d};
 
     fn make_points(n: usize, seed: u64) -> Vec<RtPoint> {
@@ -505,6 +950,98 @@ mod tests {
                     "α={alpha}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn classic_and_engine_answer_identically() {
+        let points = make_points(1200, 13);
+        for alpha in [2usize, 8, 64] {
+            let classic = RangeTree2D::build_classic(&points, alpha);
+            let (engine, stats) = RangeTree2D::build_with_stats(&points, alpha);
+            assert!(
+                stats.scratch.within_budget(),
+                "α={alpha}: {:?}",
+                stats.scratch
+            );
+            assert_eq!(
+                classic.critical_count(),
+                engine.critical_count(),
+                "identical point sets must produce identical α-labelings"
+            );
+            assert_eq!(classic.augmentation_size(), engine.augmentation_size());
+            for rect in &random_query_rects(50, 0.25, 14) {
+                let expected = range_bruteforce(&points, rect);
+                assert_eq!(classic.query(rect), expected, "classic α={alpha}");
+                assert_eq!(engine.query(rect), expected, "engine α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_writes_fewer_than_classic_textbook() {
+        let points = make_points(20_000, 17);
+        let (_, classic) = measure(Omega::symmetric(), || {
+            RangeTree2D::build_classic(&points, 2)
+        });
+        let (_, engine) = measure(Omega::symmetric(), || RangeTree2D::build(&points, 8));
+        assert!(
+            engine.writes < classic.writes,
+            "α-labeled engine build must write less than the textbook α=2 \
+             classic build: {} vs {}",
+            engine.writes,
+            classic.writes
+        );
+    }
+
+    #[test]
+    fn aug_arena_is_exactly_sized_and_packed() {
+        let points = make_points(3000, 19);
+        for alpha in [2usize, 8, 64] {
+            let (tree, stats) = RangeTree2D::build_with_stats(&points, alpha);
+            assert_eq!(tree.aug.len(), stats.aug_len);
+            assert_eq!(
+                tree.augmentation_size(),
+                tree.aug.len(),
+                "every arena word belongs to exactly one critical run"
+            );
+            // Every critical node's base run is y-sorted and covers its
+            // subtree's points.
+            for node in &tree.nodes {
+                if let Some(inner) = &node.inner {
+                    let run = &tree.aug[inner.base_off..inner.base_off + inner.base_len];
+                    assert!(run.windows(2).all(|w| ykey(&w[0]) < ykey(&w[1])));
+                    assert_eq!(inner.base_len, node.weight - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_runs_repack_and_stay_queryable() {
+        // Enough inserts into one engine-built tree to overflow several
+        // nodes' √(main) overflow caps (forcing arena → owned repacks)
+        // without doubling the root's weight (which would rebuild instead).
+        let initial = make_points(2000, 23);
+        let mut tree = RangeTree2D::build(&initial, 8);
+        let mut reference = initial.clone();
+        for (i, p) in make_points(1500, 24).into_iter().enumerate() {
+            let p = RtPoint {
+                point: p.point,
+                id: 50_000 + i as u64,
+            };
+            tree.insert(p);
+            reference.push(p);
+        }
+        assert!(
+            tree.nodes.iter().any(|n| n
+                .inner
+                .as_ref()
+                .is_some_and(|i| !i.owned.is_empty() && i.base_len == 0)),
+            "1500 inserts must overflow at least one node's cap"
+        );
+        for rect in &random_query_rects(40, 0.3, 25) {
+            assert_eq!(tree.query(rect), range_bruteforce(&reference, rect));
         }
     }
 

@@ -19,6 +19,9 @@ fn bench_range_tree(c: &mut Criterion) {
         .collect();
     let rects = random_query_rects(200, 0.1, 32);
     for alpha in [2usize, 8, 16] {
+        group.bench_function(BenchmarkId::new("build_classic", alpha), |b| {
+            b.iter(|| RangeTree2D::build_classic(&points, alpha))
+        });
         group.bench_function(BenchmarkId::new("build", alpha), |b| {
             b.iter(|| RangeTree2D::build(&points, alpha))
         });

@@ -17,8 +17,11 @@
 //!   baseline against the write-efficient variant.  The counters do not
 //!   depend on ω (only the `work = reads + ω·writes` weighting does), so
 //!   each child measures once and derives every ω row.  Sweep workloads:
-//!   `delaunay` (ParIncrementalDT vs prefix-doubling+tracing) and `sort`
-//!   (merge sort vs incremental).
+//!   `delaunay` (ParIncrementalDT vs prefix-doubling+tracing), `sort`
+//!   (merge sort vs incremental) and the augmented-tree builds `interval`,
+//!   `priority`, `range` (classic per-level-copy constructions vs the
+//!   parallel allocation-lean engine; `BENCH_augtree.json` holds committed
+//!   trajectory points of this schema).
 //! * **`--smoke`** — a tiny in-process sweep that validates the JSON
 //!   emitter and asserts the ω-crossover claim (at the largest swept ω the
 //!   write-efficient variant must cost less work); exits non-zero on
@@ -65,8 +68,12 @@ const WORKLOADS: &[&str] = &[
 ];
 
 /// Sweep workloads: each pairs a write-inefficient baseline with its
-/// write-efficient counterpart.
-const SWEEP_WORKLOADS: &[&str] = &["delaunay", "sort"];
+/// write-efficient counterpart.  The three augmented-tree workloads compare
+/// the classic per-level-copy constructions against the parallel
+/// allocation-lean engine of `pwe_augtree::engine` (the range tree's
+/// baseline is the textbook α = 2 build, where every node carries an inner
+/// structure; the engine builds at α = 8).
+const SWEEP_WORKLOADS: &[&str] = &["delaunay", "sort", "interval", "priority", "range"];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -151,7 +158,7 @@ fn run_workload(workload: &str, n_override: Option<usize>) -> (usize, CostReport
         "interval" => {
             let n = n_override.unwrap_or(100_000);
             let intervals = random_intervals(n, 1e6, 200.0, 17);
-            let (_, r) = measure(omega, || IntervalTree::build_presorted(&intervals, 2));
+            let (_, r) = measure(omega, || IntervalTree::build_parallel(&intervals, 2));
             (n, r)
         }
         "priority" => {
@@ -164,7 +171,7 @@ fn run_workload(workload: &str, n_override: Option<usize>) -> (usize, CostReport
                     id: i as u64,
                 })
                 .collect();
-            let (_, r) = measure(omega, || PrioritySearchTree::build_presorted(&points));
+            let (_, r) = measure(omega, || PrioritySearchTree::build_parallel(&points));
             (n, r)
         }
         "range" => {
@@ -273,6 +280,40 @@ fn run_sweep_pair(workload: &str, n: usize) -> (CostReport, CostReport) {
             let keys = random_keys(n, 42);
             let (_, base) = measure(omega, || merge_sort_baseline(&keys));
             let (_, we) = measure(omega, || incremental_sort(&keys, 7));
+            (base, we)
+        }
+        "interval" => {
+            let intervals = random_intervals(n, 1e6, 200.0, 17);
+            let (_, base) = measure(omega, || IntervalTree::build_classic(&intervals, 2));
+            let (_, we) = measure(omega, || IntervalTree::build_parallel(&intervals, 2));
+            (base, we)
+        }
+        "priority" => {
+            let points: Vec<PsPoint> = uniform_points_2d(n, 23)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| PsPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            let (_, base) = measure(omega, || PrioritySearchTree::build_classic(&points));
+            let (_, we) = measure(omega, || PrioritySearchTree::build_parallel(&points));
+            (base, we)
+        }
+        "range" => {
+            let points: Vec<RtPoint> = uniform_points_2d(n, 31)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| RtPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            // Textbook range tree (α = 2: every node critical, per-node run
+            // copies) vs the α-labeled flat-arena engine build.
+            let (_, base) = measure(omega, || RangeTree2D::build_classic(&points, 2));
+            let (_, we) = measure(omega, || RangeTree2D::build(&points, 8));
             (base, we)
         }
         other => {

@@ -420,6 +420,46 @@ pub fn smallmem_experiment(n: usize) -> Vec<SmallMemRow> {
         scratch: ledger.report(),
     });
 
+    // Augmented-tree parallel builds (shared engine): forked-recursion
+    // frames at O(log n), plus O(α) k-way-merge cursors on the range tree.
+    let (_, iv_build) = IntervalTree::build_parallel_with_stats(&intervals, 2);
+    rows.push(SmallMemRow {
+        label: "interval engine build".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: iv_build.scratch,
+    });
+    let ps_points: Vec<pwe_augtree::priority::PsPoint> = uniform_points_2d(n, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| pwe_augtree::priority::PsPoint {
+            point,
+            id: i as u64,
+        })
+        .collect();
+    let (_, ps_build) = PrioritySearchTree::build_parallel_with_stats(&ps_points);
+    rows.push(SmallMemRow {
+        label: "priority engine build".into(),
+        n,
+        bound: "c*log2 n",
+        scratch: ps_build.scratch,
+    });
+    let rt_points: Vec<pwe_augtree::range_tree::RtPoint> = uniform_points_2d(n, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| pwe_augtree::range_tree::RtPoint {
+            point,
+            id: i as u64,
+        })
+        .collect();
+    let (_, rt_build) = RangeTree2D::build_with_stats(&rt_points, 8);
+    rows.push(SmallMemRow {
+        label: "range engine build".into(),
+        n,
+        bound: "c*log2 n + c*alpha",
+        scratch: rt_build.scratch,
+    });
+
     // DAG tracing (Theorem 3.1): O(D(G)) words — the Delaunay history DAG
     // built above bounds the trace stack by its longest path.
     let depth_bound = 4 * (pwe_asym::depth::log2_ceil(dn.max(2)) + 1);

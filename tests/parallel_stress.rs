@@ -164,6 +164,72 @@ fn delaunay_baseline_engine_counters_match_single_thread_run() {
     });
 }
 
+/// The augmented-tree build engine forks `par_join` recursion over disjoint
+/// arena regions; layout slots are assigned by index arithmetic, so the
+/// finished arenas must be *bit-identical* across schedules — pinned here via
+/// `layout_digest()` (a deterministic fold over every node field, inner-run
+/// offset and augmentation-arena word) — and the read/write/depth ledgers
+/// must match the sequential run exactly.
+#[test]
+fn augtree_interval_parallel_build_counters_match_single_thread_run() {
+    use pwe::augtree::interval::IntervalTree;
+    let intervals = pwe_geom::generators::random_intervals(30_000, 1e6, 150.0, 41);
+    let queries = pwe_geom::generators::stabbing_queries(64, 1e6, 42);
+    assert_schedule_independent("interval build_parallel", || {
+        let tree = IntervalTree::build_parallel(&intervals, 4);
+        let answers: Vec<Vec<u64>> = queries.iter().map(|&q| tree.stab(q)).collect();
+        (tree.layout_digest(), tree.critical_count(), answers)
+    });
+}
+
+#[test]
+fn augtree_priority_parallel_build_counters_match_single_thread_run() {
+    use pwe::augtree::priority::{PrioritySearchTree, PsPoint};
+    let points: Vec<PsPoint> = pwe_geom::generators::uniform_points_2d(30_000, 43)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| PsPoint {
+            point,
+            id: i as u64,
+        })
+        .collect();
+    let queries = pwe_geom::generators::random_three_sided_queries(64, 0.3, 44);
+    assert_schedule_independent("priority build_parallel", || {
+        let tree = PrioritySearchTree::build_parallel(&points);
+        let answers: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|&(lo, hi, y)| tree.query_3sided(lo, hi, y))
+            .collect();
+        (tree.layout_digest(), tree.height(), answers)
+    });
+}
+
+#[test]
+fn augtree_range_parallel_build_counters_match_single_thread_run() {
+    use pwe::augtree::range_tree::{RangeTree2D, RtPoint};
+    let points: Vec<RtPoint> = pwe_geom::generators::uniform_points_2d(20_000, 45)
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| RtPoint {
+            point,
+            id: i as u64,
+        })
+        .collect();
+    let rects = pwe_geom::generators::random_query_rects(48, 0.2, 46);
+    assert_schedule_independent("range-tree engine build", || {
+        let (tree, stats) = RangeTree2D::build_with_stats(&points, 8);
+        assert!(stats.scratch.within_budget(), "{:?}", stats.scratch);
+        let answers: Vec<Vec<u64>> = rects.iter().map(|r| tree.query(r)).collect();
+        (
+            tree.layout_digest(),
+            tree.augmentation_size(),
+            stats.nodes,
+            stats.aug_len,
+            answers,
+        )
+    });
+}
+
 /// The pool really runs `join` branches on distinct OS threads (acceptance
 /// criterion for the work-stealing rewrite), and doing so changes none of
 /// the assertions above.

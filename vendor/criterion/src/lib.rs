@@ -4,24 +4,99 @@
 //! `Bencher::iter`, `BenchmarkId::new`, and the `criterion_group!` /
 //! `criterion_main!` macros.
 //!
-//! Instead of criterion's statistical machinery it runs each benchmark for a
-//! small, bounded number of samples (respecting `sample_size`, capped by a
-//! per-benchmark time budget) and prints `group/function/param: median …` to
-//! stdout. When the binary is invoked by `cargo test` (cargo passes
-//! `--test`), each benchmark body runs exactly once — a smoke execution, not
-//! a measurement.
+//! Instead of criterion's full statistical machinery it collects a bounded
+//! number of timed samples per benchmark — at least [`MIN_SAMPLES`]
+//! regardless of the time budget, up to `sample_size` within it — and
+//! reports the **median** and the **MAD** (median absolute deviation, a
+//! robust spread estimate) to stdout.  When the binary is invoked by
+//! `cargo test` (cargo passes `--test`), each benchmark body runs exactly
+//! once — a smoke execution, not a measurement.
+//!
+//! ## Regression flagging
+//!
+//! Set `CRITERION_BASELINE=/path/to/baseline.json` to compare against a
+//! stored baseline instead of just printing medians:
+//!
+//! * if the file does not exist, the run **records** it — one JSON object
+//!   mapping each benchmark label to its `{"median_ns": …, "mad_ns": …}`;
+//! * if it exists, each benchmark whose median exceeds
+//!   `baseline · (1 + threshold)` **and** sits more than 3 baseline MADs
+//!   above the baseline median is flagged as a `REGRESSION`, and the
+//!   process exits non-zero after the report (so `cargo bench` fails).
+//!
+//! The threshold defaults to [`DEFAULT_THRESHOLD`] (30 %) and can be
+//! overridden with `CRITERION_THRESHOLD=0.15`-style fractions.  The MAD
+//! guard keeps noisy sub-microsecond benches from tripping the gate on
+//! scheduler jitter alone.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Soft wall-clock budget per benchmark so `cargo bench` on the stub stays
 /// fast even for expensive bodies.
 const TIME_BUDGET: Duration = Duration::from_millis(250);
 
+/// Minimum number of timed samples collected per benchmark (unless the
+/// requested `sample_size` is smaller): a median + MAD over fewer points is
+/// not a statistic worth comparing baselines against.
+pub const MIN_SAMPLES: usize = 5;
+
+/// Default regression threshold: a benchmark regresses when its median
+/// exceeds the baseline median by more than this fraction.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
 /// Prevent the optimizer from discarding a benchmarked value.
 #[inline]
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One finished benchmark: label plus its robust statistics, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStat {
+    /// `group/function/param` label.
+    pub label: String,
+    /// Median sample duration in nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the samples in nanoseconds.
+    pub mad_ns: f64,
+    /// Number of timed samples the statistics summarize.
+    pub samples: usize,
+}
+
+/// All results of the current process, drained by [`finalize`].
+static RESULTS: Mutex<Vec<BenchStat>> = Mutex::new(Vec::new());
+
+/// Median of a sample set (empty → None).  Sorts a copy; ties resolve to
+/// the upper middle element, like the previous stub, so existing output
+/// stays comparable.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(v[v.len() / 2])
+}
+
+/// Median absolute deviation around the sample median (empty → None).
+pub fn mad(samples: &[f64]) -> Option<f64> {
+    let m = median(samples)?;
+    let deviations: Vec<f64> = samples.iter().map(|&x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Whether `current_ns` regresses against `baseline_ns`: beyond the
+/// relative `threshold` **and** more than 3 baseline MADs above the
+/// baseline median (the absolute guard against flagging timer noise).
+pub fn is_regression(
+    current_ns: f64,
+    baseline_ns: f64,
+    baseline_mad_ns: f64,
+    threshold: f64,
+) -> bool {
+    current_ns > baseline_ns * (1.0 + threshold) && current_ns > baseline_ns + 3.0 * baseline_mad_ns
 }
 
 /// Identifier for one benchmark within a group: `function_name/parameter`.
@@ -76,26 +151,29 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Run `f` repeatedly, recording one duration per sample.
+    /// Run `f` repeatedly, recording one duration per sample.  At least
+    /// [`MIN_SAMPLES`] samples are taken regardless of the 250 ms time
+    /// budget (capped by the requested sample size), the rest within it.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         self.durations.clear();
+        let floor = self.samples.min(MIN_SAMPLES);
         let budget_start = Instant::now();
         for done in 0..self.samples {
             let t = Instant::now();
             black_box(f());
             self.durations.push(t.elapsed());
-            if done + 1 < self.samples && budget_start.elapsed() > TIME_BUDGET {
+            let over_budget = budget_start.elapsed() > TIME_BUDGET;
+            if done + 1 >= floor && done + 1 < self.samples && over_budget {
                 break;
             }
         }
     }
 
-    fn median(&mut self) -> Option<Duration> {
-        if self.durations.is_empty() {
-            return None;
-        }
-        self.durations.sort_unstable();
-        Some(self.durations[self.durations.len() / 2])
+    fn stats(&self) -> Option<(f64, f64, usize)> {
+        let ns: Vec<f64> = self.durations.iter().map(|d| d.as_nanos() as f64).collect();
+        let m = median(&ns)?;
+        let d = mad(&ns)?;
+        Some((m, d, ns.len()))
     }
 }
 
@@ -204,12 +282,174 @@ fn run_one<F: FnMut(&mut Bencher)>(
     } else {
         format!("{}/{}", group, id.id)
     };
-    match bencher.median() {
-        Some(median) => println!(
-            "{label}: median {median:?} over {} sample(s)",
-            bencher.durations.len()
-        ),
+    match bencher.stats() {
+        Some((median_ns, mad_ns, samples)) => {
+            println!(
+                "{label}: median {:?} ± {:?} (MAD) over {samples} sample(s)",
+                Duration::from_nanos(median_ns as u64),
+                Duration::from_nanos(mad_ns as u64),
+            );
+            if !test_mode {
+                RESULTS.lock().unwrap().push(BenchStat {
+                    label,
+                    median_ns,
+                    mad_ns,
+                    samples,
+                });
+            }
+        }
         None => println!("{label}: no samples recorded"),
+    }
+}
+
+// ------------------------------------------------------------- baseline file
+
+/// Serialize results as a single JSON object:
+/// `{"label": {"median_ns": 1.0, "mad_ns": 0.5, "samples": 10}, ...}`.
+fn to_json(stats: &[BenchStat]) -> String {
+    let mut out = String::from("{\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {:.1}, \"mad_ns\": {:.1}, \"samples\": {}}}",
+            s.label, s.median_ns, s.mad_ns, s.samples
+        ));
+        out.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
+}
+
+/// Parse the baseline format written by [`to_json`].  Tolerant of
+/// whitespace; anything unparseable is skipped (a stale hand-edited entry
+/// must not brick the bench run).
+fn parse_baseline(text: &str) -> Vec<BenchStat> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let Some(q1) = after.find('"') else { break };
+        let label = &after[..q1];
+        let tail = &after[q1 + 1..];
+        let Some(close) = tail.find('}') else { break };
+        let body = &tail[..close];
+        let median_ns = json_num(body, "median_ns");
+        let mad_ns = json_num(body, "mad_ns");
+        let samples = json_num(body, "samples").unwrap_or(0.0) as usize;
+        if let (Some(m), Some(d)) = (median_ns, mad_ns) {
+            out.push(BenchStat {
+                label: label.to_string(),
+                median_ns: m,
+                mad_ns: d,
+                samples,
+            });
+        }
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+fn json_num(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = body[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare `current` against `baseline`, returning the labels that
+/// regressed beyond `threshold` (see [`is_regression`]).
+pub fn regressions(current: &[BenchStat], baseline: &[BenchStat], threshold: f64) -> Vec<String> {
+    let mut flagged = Vec::new();
+    for cur in current {
+        if let Some(base) = baseline.iter().find(|b| b.label == cur.label) {
+            if is_regression(cur.median_ns, base.median_ns, base.mad_ns, threshold) {
+                flagged.push(format!(
+                    "REGRESSION {}: median {:.0} ns vs baseline {:.0} ns (+{:.1}%, threshold {:.0}%)",
+                    cur.label,
+                    cur.median_ns,
+                    base.median_ns,
+                    (cur.median_ns / base.median_ns - 1.0) * 100.0,
+                    threshold * 100.0
+                ));
+            }
+        }
+    }
+    flagged
+}
+
+/// End-of-run hook invoked by [`criterion_main!`]: when `CRITERION_BASELINE`
+/// is set, either record the baseline (file absent) or compare against it
+/// and exit non-zero on any regression.  `cargo bench` runs each bench
+/// *binary* as its own process against the same file, so labels the
+/// baseline does not know yet (a later binary's benchmarks, or a freshly
+/// added bench) are **appended** during compare runs — after one full
+/// `cargo bench` the file covers every target and the gate is complete.
+/// A no-op in `cargo test` smoke mode and when the variable is unset.
+pub fn finalize() {
+    let results = std::mem::take(&mut *RESULTS.lock().unwrap());
+    if results.is_empty() {
+        return;
+    }
+    let Ok(path) = std::env::var("CRITERION_BASELINE") else {
+        return;
+    };
+    let threshold = std::env::var("CRITERION_THRESHOLD")
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .filter(|t| *t > 0.0)
+        .unwrap_or(DEFAULT_THRESHOLD);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let mut baseline = parse_baseline(&text);
+            let flagged = regressions(&results, &baseline, threshold);
+            for line in &flagged {
+                eprintln!("{line}");
+            }
+            // Append labels the baseline has never seen, so every bench
+            // binary sharing the file becomes gated after its first run.
+            let fresh: Vec<BenchStat> = results
+                .iter()
+                .filter(|r| baseline.iter().all(|b| b.label != r.label))
+                .cloned()
+                .collect();
+            if !fresh.is_empty() {
+                let added = fresh.len();
+                baseline.extend(fresh);
+                match std::fs::write(&path, to_json(&baseline)) {
+                    Ok(()) => {
+                        eprintln!("criterion: appended {added} new benchmark(s) to baseline {path}")
+                    }
+                    Err(e) => eprintln!("criterion: could not update baseline {path}: {e}"),
+                }
+            }
+            if flagged.is_empty() {
+                eprintln!(
+                    "criterion: {} benchmark(s) within {:.0}% of baseline {path}",
+                    results.len(),
+                    threshold * 100.0
+                );
+            } else {
+                eprintln!(
+                    "criterion: {} of {} benchmark(s) regressed beyond {:.0}% of baseline {path}",
+                    flagged.len(),
+                    results.len(),
+                    threshold * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            let json = to_json(&results);
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!(
+                    "criterion: recorded baseline for {} benchmark(s) at {path}",
+                    results.len()
+                ),
+                Err(e) => eprintln!("criterion: could not write baseline {path}: {e}"),
+            }
+        }
     }
 }
 
@@ -224,12 +464,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Build a `main` that runs each listed group.
+/// Build a `main` that runs each listed group, then applies the baseline
+/// regression gate (see [`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -268,5 +510,103 @@ mod tests {
         let mut hits = 0u32;
         c.bench_function("once", |b| b.iter(|| hits += 1));
         assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn bencher_collects_at_least_min_samples() {
+        let mut b = Bencher {
+            samples: 50,
+            durations: Vec::new(),
+        };
+        // An expensive body blows the time budget immediately; the floor
+        // must still be honoured.
+        b.iter(|| std::thread::sleep(Duration::from_millis(60)));
+        assert!(b.durations.len() >= MIN_SAMPLES);
+        let (median_ns, mad_ns, samples) = b.stats().unwrap();
+        assert!(median_ns >= 60.0 * 1e6);
+        assert!(mad_ns >= 0.0);
+        assert_eq!(samples, b.durations.len());
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let samples = vec![10.0, 12.0, 11.0, 10.5, 1000.0]; // one outlier
+        let m = median(&samples).unwrap();
+        assert_eq!(m, 11.0);
+        // Deviations from 11: [1, 1, 0, 0.5, 989] → median 1, despite the
+        // outlier (a standard deviation would be ~440).
+        let d = mad(&samples).unwrap();
+        assert_eq!(d, 1.0, "MAD must shrug off the outlier");
+        assert_eq!(median(&[]), None);
+        assert_eq!(mad(&[]), None);
+    }
+
+    #[test]
+    fn regression_gate_needs_both_threshold_and_mad_excess() {
+        // +50% over a tight baseline: regression.
+        assert!(is_regression(150.0, 100.0, 1.0, 0.30));
+        // +50% but the baseline is extremely noisy: not flagged.
+        assert!(!is_regression(150.0, 100.0, 40.0, 0.30));
+        // +10%: within threshold.
+        assert!(!is_regression(110.0, 100.0, 1.0, 0.30));
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let stats = vec![
+            BenchStat {
+                label: "group/build/8".into(),
+                median_ns: 1234.5,
+                mad_ns: 10.5,
+                samples: 10,
+            },
+            BenchStat {
+                label: "group/queries/8".into(),
+                median_ns: 99.0,
+                mad_ns: 0.5,
+                samples: 7,
+            },
+        ];
+        let parsed = parse_baseline(&to_json(&stats));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "group/build/8");
+        assert!((parsed[0].median_ns - 1234.5).abs() < 1e-9);
+        assert!((parsed[1].mad_ns - 0.5).abs() < 1e-9);
+        assert_eq!(parsed[1].samples, 7);
+    }
+
+    #[test]
+    fn regressions_match_by_label_and_report_percentages() {
+        let base = vec![BenchStat {
+            label: "a".into(),
+            median_ns: 100.0,
+            mad_ns: 1.0,
+            samples: 10,
+        }];
+        let current_ok = vec![BenchStat {
+            label: "a".into(),
+            median_ns: 105.0,
+            mad_ns: 1.0,
+            samples: 10,
+        }];
+        let current_bad = vec![
+            BenchStat {
+                label: "a".into(),
+                median_ns: 200.0,
+                mad_ns: 1.0,
+                samples: 10,
+            },
+            BenchStat {
+                label: "unknown".into(),
+                median_ns: 1e9,
+                mad_ns: 1.0,
+                samples: 10,
+            },
+        ];
+        assert!(regressions(&current_ok, &base, 0.30).is_empty());
+        let flagged = regressions(&current_bad, &base, 0.30);
+        assert_eq!(flagged.len(), 1, "labels absent from the baseline pass");
+        assert!(flagged[0].contains("REGRESSION a"));
+        assert!(flagged[0].contains("+100.0%"));
     }
 }
