@@ -1,0 +1,32 @@
+//! Lint the workspace sources; exit nonzero on any finding.
+//!
+//! Usage: `pwe-lint [workspace-root]` (defaults to the current directory,
+//! which is the workspace root under `cargo run -p pwe-analyze`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "pwe-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = pwe_analyze::lint_workspace(&root);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("pwe-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pwe-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,319 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! `pwe-lint` rules.
+//!
+//! The rules need four things a regex cannot reliably give them: (1) code
+//! vs. comment vs. string-literal distinction, so a `HashMap` mentioned in
+//! prose never trips D1; (2) line numbers for every token, so findings are
+//! clickable; (3) comments *kept in the stream*, so U1 can ask "is there a
+//! `SAFETY:` comment immediately before this `unsafe`?"; and (4) path
+//! shapes like `std :: collections :: HashMap`, which the parser-free rules
+//! match as token subsequences.  Full Rust grammar (generics, macros,
+//! expressions) is deliberately out of scope.
+
+/// What a token is; `text` in [`Token`] carries the spelling where a rule
+/// might need it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `unsafe`, `fn`, `impl`, …).
+    Ident,
+    /// A single punctuation character (`:` twice for `::`).
+    Punct,
+    /// Line (`//`, `///`, `//!`) or block (`/* */`) comment, text included.
+    Comment,
+    /// String, raw string, byte string, or char literal (text dropped).
+    Literal,
+    /// Numeric literal (text dropped).
+    Number,
+    /// Lifetime (`'a`); distinct from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex `src` into a token stream, comments included.
+///
+/// The lexer never fails: on a malformed construct it falls back to
+/// consuming a single character as punctuation, which at worst costs a rule
+/// some precision on a file that would not compile anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if matches!(self.peek(1), Some('"')) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.raw_string_ahead() => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') => {
+                    // Raw identifier `r#ident`.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// After an `r`, does `#…#"` follow (raw string) rather than a raw
+    /// identifier?
+    fn raw_string_ahead(&self) -> bool {
+        let mut ahead = 1;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// `pos` sits on the first `#` (or the `"` for zero hashes).
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        self.bump(); // the `'`
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime =
+            matches!(first, Some(c) if c == '_' || c.is_alphanumeric()) && second != Some('\'');
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            // Char literal, possibly escaped (`'\''`, `'\u{7f}'`).
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, String::new(), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_lines() {
+        let toks = lex("std::collections::HashMap\nuse foo;");
+        assert_eq!(toks[0].text, "std");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+        let use_tok = toks.iter().find(|t| t.text == "use").unwrap();
+        assert_eq!(use_tok.line, 2);
+    }
+
+    #[test]
+    fn comments_are_kept_strings_are_opaque() {
+        let toks = kinds("// SAFETY: fine\nlet x = \"HashMap :: unsafe\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Comment && t.contains("SAFETY:")));
+        // Nothing inside the string literal leaks out as an ident.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_derail() {
+        let toks =
+            kinds(r##"let s = r#"quote " inside"#; let c = '\''; let lt: &'static str = s;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "after");
+    }
+}

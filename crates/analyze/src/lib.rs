@@ -1,0 +1,51 @@
+//! `pwe-analyze`: in-house static analysis for the workspace.
+//!
+//! The workspace promises bit-identical counters, layouts and
+//! triangulations across thread counts and processes.  Most of that promise
+//! is carried by conventions — deterministic hash states, no wall-clock on
+//! counter paths, ledger-charged allocation in the engine modules, documented
+//! `unsafe` — and conventions rot.  This crate makes them machine-checked:
+//! a hand-rolled [`lexer`] (no `syn`, no registry access) feeds four
+//! token-level [`rules`], and the `pwe-lint` binary walks every `.rs` file
+//! ([`walk`]) and fails CI on any finding.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p pwe-analyze --bin pwe-lint
+//! ```
+//!
+//! The dynamic complement — the `racecheck` feature's region-claim
+//! sanitizer in `pwe_primitives::racecheck` — validates at run time the
+//! disjointness invariants this lint cannot see; MODEL.md documents both.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use rules::Finding;
+use std::path::Path;
+
+/// Lint every workspace source under `root`; findings are sorted by file
+/// then line.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in walk::workspace_files(root) {
+        let path = root.join(&rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(err) => {
+                findings.push(Finding {
+                    file: walk::rel_str(root, &path),
+                    line: 0,
+                    rule: "IO",
+                    message: format!("unreadable source file: {err}"),
+                });
+                continue;
+            }
+        };
+        findings.extend(rules::check_file(&walk::rel_str(root, &path), &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}

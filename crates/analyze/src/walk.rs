@@ -1,0 +1,57 @@
+//! Workspace file discovery for `pwe-lint`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories holding lintable Rust sources.
+const ROOTS: &[&str] = &["crates", "vendor", "tests", "examples"];
+
+/// Sub-paths excluded from the walk: build output, and the lint's own
+/// known-bad fixture files (each deliberately trips a rule).
+fn excluded(rel: &str) -> bool {
+    rel == "target" || rel.ends_with("/target") || rel.starts_with("crates/analyze/tests/fixtures")
+}
+
+/// Every `.rs` file under the workspace `root`, as root-relative paths with
+/// `/` separators, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut files);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn collect(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = rel_str(root, &path);
+        if excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            collect(root, &path, files);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(PathBuf::from(rel));
+        }
+    }
+}
+
+/// Root-relative path with forward slashes (stable across platforms, and
+/// what the rule allowlists are written against).
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,39 @@
+//! pwe-lint: deny-untracked-alloc
+//!
+//! Fixture: trips nothing — deterministic collections, a justified
+//! `unsafe`, and ledger-annotated allocation.
+
+use pwe_primitives::hash::DetHashMap;
+
+pub fn histogram(xs: &[u32]) -> DetHashMap<u32, usize> {
+    let mut counts = DetHashMap::default();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn squares(n: usize) -> Vec<usize> {
+    // alloc: large-mem — output buffer, one word per entry
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i * i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from L1: no annotation needed here.
+    #[test]
+    fn unannotated_alloc_in_tests_is_fine() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: trips D1 via a braced use list (HashSet hidden among allowed
+// imports); BTreeMap alone would be fine.
+use std::collections::{BTreeMap, HashSet};
+
+pub fn dedup(xs: &[u64]) -> usize {
+    let set: HashSet<u64> = xs.iter().copied().collect();
+    let _order: BTreeMap<u64, ()> = BTreeMap::new();
+    set.len()
+}

@@ -1,0 +1,10 @@
+// Fixture: trips D1 (and only D1) — constructs a RandomState-seeded map.
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

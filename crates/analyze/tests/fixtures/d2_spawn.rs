@@ -1,0 +1,4 @@
+// Fixture: trips D2 (and only D2) — raw thread creation outside the pool.
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

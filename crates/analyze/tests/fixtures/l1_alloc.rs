@@ -1,0 +1,12 @@
+//! pwe-lint: deny-untracked-alloc
+//!
+//! Fixture: trips L1 (and only L1) — an opted-in module allocating without
+//! an `// alloc:` accounting comment.
+
+pub fn squares(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i * i);
+    }
+    out
+}

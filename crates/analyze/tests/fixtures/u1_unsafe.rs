@@ -1,0 +1,5 @@
+// Fixture: trips U1 (and only U1) — `unsafe` with no SAFETY comment.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    unsafe { *bytes.get_unchecked(0) }
+}

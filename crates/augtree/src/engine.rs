@@ -1,6 +1,8 @@
 //! Shared parallel, allocation-lean construction engine for the Section 7
 //! augmented trees.
 //!
+//! pwe-lint: deny-untracked-alloc
+//!
 //! Every §7 structure in this crate is a balanced binary tree over a
 //! *sorted* sequence, and a balanced tree over a sorted slice has
 //! **arithmetically computable subtree index ranges**: the subtree covering
@@ -152,12 +154,14 @@ where
         record_writes(total as u64);
         return;
     }
+    // alloc: scratch — O(k) cursor words, folded via kway_merge_into's observe_task
     let mut cursors = vec![0usize; srcs.len()];
     let mut heap: BinaryHeap<Reverse<((u64, u64), usize)>> = srcs
         .iter()
         .enumerate()
         .filter(|(_, s)| !s.is_empty())
         .map(|(i, s)| Reverse((key(&s[0]), i)))
+        // alloc: scratch — O(k)-entry heap, same task-scratch budget as the cursors
         .collect();
     let mut w = 0usize;
     while let Some(Reverse((_, i))) = heap.pop() {
@@ -206,7 +210,9 @@ pub(crate) fn kway_merge_into<T, K>(
         }
     }
     let pivot = key(&srcs[li][srcs[li].len() / 2]);
+    // alloc: scratch — O(k) narrowed source table (counted by observe_task above)
     let mut left_srcs: Vec<&[T]> = Vec::with_capacity(srcs.len());
+    // alloc: scratch — O(k) narrowed source table (counted by observe_task above)
     let mut right_srcs: Vec<&[T]> = Vec::with_capacity(srcs.len());
     let mut left_total = 0usize;
     for s in srcs {
@@ -224,9 +230,19 @@ pub(crate) fn kway_merge_into<T, K>(
     }
     let (out_lo, out_hi) = out.split_at_mut(left_total);
     pwe_asym::depth::add(1);
+    // racecheck: this always forks (total is over the sequential cutoff
+    // here), so each arm claims its half of the output region.
     par_join(
-        || kway_merge_into(&left_srcs, out_lo, key, ledger, level + 1),
-        || kway_merge_into(&right_srcs, out_hi, key, ledger, level + 1),
+        || {
+            let _claim =
+                pwe_primitives::racecheck::claim_slice(&*out_lo, "engine::kway_merge_into/left");
+            kway_merge_into(&left_srcs, out_lo, key, ledger, level + 1)
+        },
+        || {
+            let _claim =
+                pwe_primitives::racecheck::claim_slice(&*out_hi, "engine::kway_merge_into/right");
+            kway_merge_into(&right_srcs, out_hi, key, ledger, level + 1)
+        },
     );
 }
 

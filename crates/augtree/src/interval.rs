@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth;
 use pwe_geom::interval::Interval;
+use pwe_primitives::racecheck;
 use pwe_sort_shim::sort_f64_keys;
 
 use crate::alpha::is_critical_weight;
@@ -746,10 +747,22 @@ fn skeleton_rec(
         ledger.observe_task(level + 2);
         return;
     }
+    // racecheck: when the fork is real, each arm registers the arena region
+    // it owns; overlapping claims from concurrent arms panic under the
+    // sanitizer feature (no-ops otherwise).
+    let forked = m > crate::engine::SEQUENTIAL_BUILD_CUTOFF;
     crate::engine::join_grain(
         m,
-        || skeleton_rec(keys, lregion, offset, level + 1, ledger),
-        || skeleton_rec(keys, rregion, offset + mid + 1, level + 1, ledger),
+        || {
+            let _claim =
+                forked.then(|| racecheck::claim_slice(&*lregion, "interval::skeleton_rec/left"));
+            skeleton_rec(keys, lregion, offset, level + 1, ledger)
+        },
+        || {
+            let _claim =
+                forked.then(|| racecheck::claim_slice(&*rregion, "interval::skeleton_rec/right"));
+            skeleton_rec(keys, rregion, offset + mid + 1, level + 1, ledger)
+        },
     );
 }
 
@@ -821,9 +834,12 @@ fn attach_rec(
     let boundary = runs[half].0;
     let (lruns, rruns) = runs.split_at(half);
     let (lregion, rregion) = region.split_at_mut(boundary - offset);
+    // racecheck: the early return above guarantees m is over the cutoff, so
+    // this always forks — claim each arm's region unconditionally.
     crate::engine::join_grain(
         m,
         || {
+            let _claim = racecheck::claim_slice(&*lregion, "interval::attach_rec/left");
             attach_rec(
                 lregion,
                 offset,
@@ -835,6 +851,7 @@ fn attach_rec(
             )
         },
         || {
+            let _claim = racecheck::claim_slice(&*rregion, "interval::attach_rec/right");
             attach_rec(
                 rregion,
                 boundary,
@@ -863,10 +880,19 @@ fn finalize_rec(
     let mid = m / 2;
     let (lregion, rest) = region.split_at_mut(mid);
     let (node, rregion) = rest.split_first_mut().expect("non-empty region");
+    let forked = m > crate::engine::SEQUENTIAL_BUILD_CUTOFF;
     let (wl, wr) = crate::engine::join_grain(
         m,
-        || finalize_rec(lregion, alpha, level + 1, ledger),
-        || finalize_rec(rregion, alpha, level + 1, ledger),
+        || {
+            let _claim =
+                forked.then(|| racecheck::claim_slice(&*lregion, "interval::finalize_rec/left"));
+            finalize_rec(lregion, alpha, level + 1, ledger)
+        },
+        || {
+            let _claim =
+                forked.then(|| racecheck::claim_slice(&*rregion, "interval::finalize_rec/right"));
+            finalize_rec(rregion, alpha, level + 1, ledger)
+        },
     );
     let w = node.stored() + wl + wr;
     node.weight = w;

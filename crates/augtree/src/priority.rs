@@ -19,6 +19,7 @@
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth;
 use pwe_geom::point::Point2;
+use pwe_primitives::racecheck;
 use pwe_primitives::tournament::TournamentTree;
 
 use crate::interval::f64_key;
@@ -647,9 +648,18 @@ fn build_par_rec(
     let (lvalid, rvalid) = valid.split_at_mut(median_rel);
     let (_, rest) = nodes.split_first_mut().expect("count > 0");
     let (lnodes, rnodes) = rest.split_at_mut(left_count);
+    // racecheck: when the fork is real, each arm claims both of the disjoint
+    // regions it owns (its validity window and its node arena slice).
+    let forked = count > crate::engine::SEQUENTIAL_BUILD_CUTOFF;
     crate::engine::join_grain(
         count,
         || {
+            let _claims = forked.then(|| {
+                (
+                    racecheck::claim_slice(&*lvalid, "priority::build_par_rec/left_valid"),
+                    racecheck::claim_slice(&*lnodes, "priority::build_par_rec/left_nodes"),
+                )
+            });
             build_par_rec(
                 sorted,
                 pos_lo,
@@ -662,6 +672,12 @@ fn build_par_rec(
             )
         },
         || {
+            let _claims = forked.then(|| {
+                (
+                    racecheck::claim_slice(&*rvalid, "priority::build_par_rec/right_valid"),
+                    racecheck::claim_slice(&*rnodes, "priority::build_par_rec/right_nodes"),
+                )
+            });
             build_par_rec(
                 sorted,
                 pos_lo + median_rel,

@@ -28,14 +28,13 @@
 //! constant fraction is dead") and insertions by leaf splitting plus
 //! reconstruction of any critical subtree whose weight has doubled.
 
-use std::collections::HashSet;
-
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth;
 use pwe_asym::smallmem::SmallMem;
 use pwe_geom::bbox::Rect;
 use pwe_geom::point::Point2;
-use pwe_primitives::hash::DetState;
+use pwe_primitives::hash::DetHashSet;
+use pwe_primitives::racecheck;
 
 use crate::alpha::{is_critical_weight, is_critical_weight_uncharged};
 use crate::engine::{
@@ -148,7 +147,7 @@ pub struct RangeTree2D {
     /// superseded segments become garbage until the next full rebuild (like
     /// detached node-arena slots).
     aug: Vec<RtPoint>,
-    deleted: HashSet<u64, DetState>,
+    deleted: DetHashSet<u64>,
     /// Number of reconstructions triggered by updates (diagnostic).
     pub rebuilds: u64,
 }
@@ -176,7 +175,7 @@ impl RangeTree2D {
             live: points.len(),
             dead: 0,
             aug: Vec::new(),
-            deleted: HashSet::default(),
+            deleted: DetHashSet::default(),
             rebuilds: 0,
         };
         if points.is_empty() {
@@ -230,7 +229,7 @@ impl RangeTree2D {
             live: points.len(),
             dead: 0,
             aug: Vec::new(),
-            deleted: HashSet::default(),
+            deleted: DetHashSet::default(),
             rebuilds: 0,
         };
         if points.is_empty() {
@@ -633,12 +632,7 @@ impl RangeTree2D {
 
     /// All live points.
     pub fn collect_live(&self) -> Vec<RtPoint> {
-        fn rec(
-            nodes: &[RNode],
-            v: usize,
-            deleted: &HashSet<u64, DetState>,
-            out: &mut Vec<RtPoint>,
-        ) {
+        fn rec(nodes: &[RNode], v: usize, deleted: &DetHashSet<u64>, out: &mut Vec<RtPoint>) {
             if v == EMPTY {
                 return;
             }
@@ -660,12 +654,7 @@ impl RangeTree2D {
     fn rebuild_subtree(&mut self, v: usize) {
         self.rebuilds += 1;
         // Collect the live points below v.
-        fn rec(
-            nodes: &[RNode],
-            v: usize,
-            deleted: &HashSet<u64, DetState>,
-            out: &mut Vec<RtPoint>,
-        ) {
+        fn rec(nodes: &[RNode], v: usize, deleted: &DetHashSet<u64>, out: &mut Vec<RtPoint>) {
             if v == EMPTY {
                 return;
             }
@@ -832,9 +821,18 @@ fn build_par_rec(
     let left_base = aug_base + own_len;
     let right_base = left_base + left_aug_len;
 
+    // racecheck: when the fork is real, each arm claims its disjoint slices
+    // of both shared arenas (augmentation words and preorder nodes).
+    let forked = m > crate::engine::SEQUENTIAL_BUILD_CUTOFF;
     let ((lruns, lview), (rruns, rview)) = join_grain(
         m,
         move || {
+            let _claims = forked.then(|| {
+                (
+                    racecheck::claim_slice(&*left_aug, "range_tree::build_par_rec/left_aug"),
+                    racecheck::claim_slice(&*left_nodes, "range_tree::build_par_rec/left_nodes"),
+                )
+            });
             let runs = build_par_rec(
                 ls,
                 left_nodes,
@@ -850,6 +848,12 @@ fn build_par_rec(
             (runs, &*left_aug)
         },
         move || {
+            let _claims = forked.then(|| {
+                (
+                    racecheck::claim_slice(&*right_aug, "range_tree::build_par_rec/right_aug"),
+                    racecheck::claim_slice(&*right_nodes, "range_tree::build_par_rec/right_nodes"),
+                )
+            });
             let runs = build_par_rec(
                 rs,
                 right_nodes,

@@ -1,6 +1,8 @@
 //! The parallel batch insertion engine shared by the baseline and the
 //! write-efficient Delaunay algorithms.
 //!
+//! pwe-lint: deny-untracked-alloc
+//!
 //! The engine receives the conflict (encroachment) lists of a set of
 //! uninserted points against the *current* triangulation and inserts all of
 //! them, proceeding in bulk-synchronous **reserve-and-commit rounds**,
@@ -155,6 +157,7 @@ fn plan_round(
             }
             m
         })
+        // alloc: large-mem — one nominee word per conflict row this round
         .collect();
 
     // ---- Step 2: candidates and their cavities. ---------------------------
@@ -167,14 +170,17 @@ fn plan_round(
         .into_par_iter()
         .filter(|&i| reserve.load_untracked(mins[i] as usize) == u64::from(mins[i]))
         .map(|i| (mins[i], i as u32))
+        // alloc: large-mem — candidate/row pairs, at most one per conflict row
         .collect();
     // Deterministic grouping: by candidate, then by row order.
     cavity_rows.sort_unstable();
+    // alloc: large-mem — grouped candidate cavities (entries move out of cavity_rows)
     let mut candidates: Vec<(u32, Vec<u32>)> = Vec::new();
     for &(p, row) in &cavity_rows {
         let t = rows_tri[row as usize];
         match candidates.last_mut() {
             Some((q, cavity)) if *q == p => cavity.push(t),
+            // alloc: large-mem — first cavity entry of a new candidate group
             _ => candidates.push((p, vec![t])),
         }
     }
@@ -210,6 +216,7 @@ fn plan_round(
             let mut scratch = TaskScratch::new(ledger);
             scratch.alloc(2);
             let mut ok = true;
+            // alloc: scratch — boundary records, one O(1)-word entry per cavity edge (see scratch.alloc above)
             let mut boundary: Vec<BoundaryEdge> = Vec::new();
             for &t in cavity {
                 let tv = mesh.triangle(t).v; // vertex triple only: no children clone
@@ -245,11 +252,14 @@ fn plan_round(
             }
             (ok, boundary)
         })
+        // alloc: large-mem — per-candidate assessment results
         .collect();
+    // alloc: large-mem — winner index table, at most one word per candidate
     let winners: Vec<usize> = (0..candidates.len()).filter(|&i| assessed[i].0).collect();
     assert!(!winners.is_empty(), "at least the global minimum must win");
     // Candidates are sorted by point id, so this is sorted too: winner
     // membership below is a binary search.
+    // alloc: large-mem — sorted winner ids for the binary-search filter
     let winner_pts: Vec<u32> = winners.iter().map(|&i| candidates[i].0).collect();
     debug_assert!(winner_pts.windows(2).all(|w| w[0] < w[1]));
 
@@ -257,6 +267,7 @@ fn plan_round(
     let fan_sizes: Vec<u64> = winners
         .iter()
         .map(|&i| assessed[i].1.len() as u64)
+        // alloc: large-mem — one fan-size word per winner (the scan's input)
         .collect();
     let (fan_offsets, _total_new) = par_exclusive_scan(&fan_sizes);
 
@@ -265,9 +276,23 @@ fn plan_round(
     // (survivors of E(t) ∪ E(t_o) that encroach it — line 15 of Algorithm 2)
     // against the round-start state; each in-circle test is one read, each
     // surviving entry one write, both schedule-independent.
+    //
+    // racecheck: the commit step hands winner `w` the triangle ids
+    // `base + fan_offsets[w] .. base + fan_offsets[w] + |fan|`, so each fan
+    // task claims its offset range in a space drawn fresh for this round —
+    // two winners whose reservations ever overlapped would be concurrent
+    // claims on one range and the sanitizer would panic.
+    let round_space = pwe_primitives::racecheck::fresh_space();
     let fans: Vec<Vec<PendingTri>> = winners
         .par_iter()
-        .map(|&ci| {
+        .enumerate()
+        .map(|(w, &ci)| {
+            let _claim = pwe_primitives::racecheck::claim_range(
+                round_space,
+                fan_offsets[w],
+                fan_offsets[w] + fan_sizes[w],
+                "delaunay::plan_round/reserved_ids",
+            );
             // The fan task's symmetric scratch is O(1) words of edge/orient
             // registers.  The `merged` staging buffer below is *large-memory*
             // traffic, not task scratch: its entries are the conflict-list
@@ -282,6 +307,7 @@ fn plan_round(
                 .iter()
                 .map(|b| {
                     let v = mesh.orient_ccw(b.edge.0, b.edge.1, p);
+                    // alloc: large-mem — staging for the two parent rows (survivors charged at commit; see note above)
                     let mut merged: Vec<u32> = Vec::new();
                     let row = row_of[b.inside as usize].load(Ordering::Relaxed);
                     debug_assert_ne!(row, NONE, "cavity triangle without a row");
@@ -301,6 +327,7 @@ fn plan_round(
                                 && winner_pts.binary_search(&q).is_err()
                                 && mesh.encroaches_tri(q, v)
                         })
+                        // alloc: large-mem — the new triangle's conflict list (entry writes recorded at commit)
                         .collect();
                     PendingTri {
                         v,
@@ -308,8 +335,10 @@ fn plan_round(
                         conflicts,
                     }
                 })
+                // alloc: large-mem — this winner's fan of pending triangles
                 .collect()
         })
+        // alloc: large-mem — per-winner fans handed to the commit step
         .collect();
 
     RoundPlan {
@@ -322,6 +351,7 @@ fn plan_round(
 
 #[inline]
 fn atomic_none_vec(len: usize) -> Vec<AtomicU32> {
+    // alloc: large-mem — triangle-id-indexed round table (module doc: round scratch)
     (0..len).map(|_| AtomicU32::new(NONE)).collect()
 }
 
@@ -351,7 +381,9 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
     // every thread count.
     record_writes(initial_conflicts.len() as u64);
     stats.conflict_entries_written += initial_conflicts.len() as u64;
+    // alloc: large-mem — conflict row keys (entry writes recorded above)
     let mut rows_tri: Vec<u32> = Vec::new();
+    // alloc: large-mem — conflict row lists (entry writes recorded above)
     let mut rows_pts: Vec<Vec<u32>> = Vec::new();
     for group in semisort_by_key(&initial_conflicts, |&(t, _)| t) {
         debug_assert!(
@@ -359,6 +391,7 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
             "conflict against a dead triangle"
         );
         rows_tri.push(group.key);
+        // alloc: large-mem — one row of conflict entries (charged above)
         rows_pts.push(group.items.into_iter().map(|(_, p)| p).collect());
     }
 
@@ -411,7 +444,9 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
         // Kills and installs in winner order; installing in reserved-id
         // order reproduces exactly the ids the scan handed out.
         let mut round_max_path = 1u64;
+        // alloc: large-mem — committed rows' triangle ids (entry writes recorded per fan)
         let mut new_rows_tri: Vec<u32> = Vec::new();
+        // alloc: large-mem — committed rows' conflict lists (moved, not rewritten)
         let mut new_rows_pts: Vec<Vec<u32>> = Vec::new();
         for ((w, &ci), fan) in winners.iter().enumerate().zip(fans) {
             let cavity = &candidates[ci].1;
@@ -443,7 +478,9 @@ pub fn insert_batch(mesh: &mut TriMesh, initial_conflicts: Vec<(u32, u32)>) -> I
                 owner[t as usize].store(NONE, Ordering::Relaxed);
             }
         }
+        // alloc: large-mem — row-table roll-forward keys (pointer moves, no redistribution)
         let mut kept_tri: Vec<u32> = Vec::with_capacity(rows_tri.len());
+        // alloc: large-mem — row-table roll-forward lists (pointer moves, no redistribution)
         let mut kept_pts: Vec<Vec<u32>> = Vec::with_capacity(rows_pts.len());
         for (i, &t) in rows_tri.iter().enumerate() {
             if mesh.triangle(t).alive {

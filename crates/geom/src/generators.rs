@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::bbox::Rect;
 use crate::interval::Interval;
@@ -31,7 +31,7 @@ pub const DEFAULT_GRID_SPAN: i64 = 1 << 20;
 pub fn uniform_grid_points(n: usize, span: i64, seed: u64) -> Vec<GridPoint> {
     assert!(span > 0 && span <= GRID_LIMIT / 4, "span out of range");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen = HashSet::with_capacity(n * 2);
+    let mut seen = BTreeSet::new();
     let mut pts = Vec::with_capacity(n);
     while pts.len() < n {
         let x = rng.gen_range(-span..=span);
@@ -53,7 +53,7 @@ pub fn clustered_grid_points(n: usize, clusters: usize, span: i64, seed: u64) ->
         .map(|_| (rng.gen_range(-span..=span), rng.gen_range(-span..=span)))
         .collect();
     let sigma = (span as f64 / clusters as f64 / 2.0).max(2.0);
-    let mut seen = HashSet::with_capacity(n * 2);
+    let mut seen = BTreeSet::new();
     let mut pts = Vec::with_capacity(n);
     while pts.len() < n {
         let (cx, cy) = centers[rng.gen_range(0..clusters)];
@@ -79,7 +79,7 @@ pub fn circle_grid_points(n: usize, radius: i64, seed: u64) -> Vec<GridPoint> {
         "radius out of range"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen = HashSet::with_capacity(n * 2);
+    let mut seen = BTreeSet::new();
     let mut pts = Vec::with_capacity(n);
     while pts.len() < n {
         let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
@@ -198,7 +198,7 @@ mod tests {
     fn uniform_grid_points_are_distinct_and_bounded() {
         let pts = uniform_grid_points(5000, 1 << 16, 1);
         assert_eq!(pts.len(), 5000);
-        let set: HashSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        let set: BTreeSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
         assert_eq!(set.len(), 5000);
         assert!(pts
             .iter()
@@ -212,7 +212,7 @@ mod tests {
     fn clustered_points_hug_their_centers() {
         let pts = clustered_grid_points(2000, 5, 1 << 16, 7);
         assert_eq!(pts.len(), 2000);
-        let set: HashSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        let set: BTreeSet<(i64, i64)> = pts.iter().map(|p| (p.x, p.y)).collect();
         assert_eq!(set.len(), 2000);
     }
 
@@ -251,7 +251,7 @@ mod tests {
             .iter()
             .all(|s| s.left <= s.right && s.right - s.left <= 5.0));
         // ids are unique
-        let ids: HashSet<u64> = ivs.iter().map(|s| s.id).collect();
+        let ids: BTreeSet<u64> = ivs.iter().map(|s| s.id).collect();
         assert_eq!(ids.len(), 500);
 
         let qs = stabbing_queries(100, 100.0, 17);

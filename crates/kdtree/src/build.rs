@@ -1,5 +1,7 @@
 //! k-d tree construction: the classic median-split baseline and the paper's
 //! write-efficient p-batched incremental construction (Section 6.1).
+//!
+//! pwe-lint: deny-untracked-alloc
 
 use rayon::prelude::*;
 
@@ -79,9 +81,11 @@ pub fn build_classic_with_stats<const K: usize>(
     points: &[PointK<K>],
     leaf_capacity: usize,
 ) -> (KdTree<K>, BuildStats) {
+    // alloc: large-mem — the tree's owned point copy (write charged on the next line)
     let mut tree = KdTree::empty(points.to_vec(), leaf_capacity);
     record_writes(points.len() as u64); // materialize the owned copy
     let ledger = SmallMem::logarithmic(points.len(), CLASSIC_SCRATCH_C);
+    // alloc: large-mem — index arena, one u32 per point (partition writes charged per level)
     let mut idxs: Vec<u32> = (0..points.len() as u32).collect();
     if !idxs.is_empty() {
         let (nodes, root) = build_rec(points, &mut idxs, 0, leaf_capacity.max(1), true, &ledger, 0);
@@ -124,10 +128,12 @@ fn build_rec<const K: usize>(
     let n = idxs.len();
     if n <= leaf_capacity {
         let mut leaf = KdNode::leaf();
+        // alloc: large-mem — leaf bucket materialization (n writes recorded below)
         leaf.bucket = idxs.to_vec();
         leaf.size = n;
         ledger.observe_task(base_words + depth_level as u64 + 2);
         record_writes(n as u64);
+        // alloc: large-mem — single-leaf local arena
         return (vec![leaf], 0);
     }
     let dim = depth_level % K;
@@ -148,8 +154,12 @@ fn build_rec<const K: usize>(
     // (`PointK` is plain `Copy` data, so `&[PointK<K>]` is `Sync`); the
     // branches are safe to run on different OS threads.
     let ((left_nodes, left_root), (right_nodes, right_root)) = if n > SEQUENTIAL_BUILD_CUTOFF {
+        // racecheck: each arm claims its half of the shared index arena
+        // before recursing; the sanitizer panics if the halves ever overlap.
         par_join(
             || {
+                let _claim =
+                    pwe_primitives::racecheck::claim_slice(&*left_idxs, "kdtree::build_rec/left");
                 build_rec(
                     points,
                     left_idxs,
@@ -161,6 +171,8 @@ fn build_rec<const K: usize>(
                 )
             },
             || {
+                let _claim =
+                    pwe_primitives::racecheck::claim_slice(&*right_idxs, "kdtree::build_rec/right");
                 build_rec(
                     points,
                     right_idxs,
@@ -212,6 +224,7 @@ fn build_rec<const K: usize>(
         split_val,
         left: left_root,
         right: right_root + offset,
+        // alloc: none — Vec::new is zero-capacity (interior nodes hold no bucket)
         bucket: Vec::new(),
         size: n,
     };
@@ -244,11 +257,13 @@ pub fn build_p_batched<const K: usize>(
     let leaf_capacity = leaf_capacity.max(1);
     let mut stats = BuildStats::default();
     if n == 0 {
+        // alloc: none — empty tree, zero-capacity point store
         return (KdTree::empty(Vec::new(), leaf_capacity), stats);
     }
 
     // Random insertion order (required by the analysis).
     let perm = random_permutation(n, seed);
+    // alloc: large-mem — the randomized insertion order (n writes recorded below)
     let ordered: Vec<PointK<K>> = perm.iter().map(|&i| points[i]).collect();
     record_writes(n as u64);
 
@@ -264,6 +279,7 @@ pub fn build_p_batched<const K: usize>(
     let initial = schedule.rounds()[0];
     let mut tree = KdTree::empty(ordered.clone(), leaf_capacity);
     {
+        // alloc: large-mem — initial-round index arena
         let mut idxs: Vec<u32> = (initial.start as u32..initial.end as u32).collect();
         let (nodes, root) = build_rec(&ordered, &mut idxs, 0, p, true, &ledger, 0);
         tree.nodes = nodes;
@@ -273,6 +289,7 @@ pub fn build_p_batched<const K: usize>(
 
     // Incremental rounds.
     for round in schedule.rounds().iter().skip(1) {
+        // alloc: large-mem — this round's batch of point indices
         let batch: Vec<u32> = (round.start as u32..round.end as u32).collect();
 
         // Step 1 (reads only, parallel): locate the leaf of every new point.
@@ -287,6 +304,7 @@ pub fn build_p_batched<const K: usize>(
                 locate_depth.record(visited);
                 (leaf, pi)
             })
+            // alloc: large-mem — (leaf, point) locate results, one record per batch point
             .collect();
         locate_depth.commit();
 
@@ -322,6 +340,7 @@ pub fn build_p_batched<const K: usize>(
     let final_depth = RoundDepth::new();
     let leaves_with_buffers: Vec<usize> = (0..tree.nodes.len())
         .filter(|&v| tree.nodes[v].is_leaf() && tree.nodes[v].bucket.len() > leaf_capacity)
+        // alloc: large-mem — ids of leaves with oversized buffers
         .collect();
     for leaf in leaves_with_buffers {
         let mut bucket = std::mem::take(&mut tree.nodes[leaf].bucket);
@@ -411,8 +430,10 @@ fn settle_overflowing<const K: usize>(
     record_writes(bucket.len() as u64);
 
     let mut left_node = KdNode::leaf();
+    // alloc: large-mem — settled left bucket (split writes recorded above)
     left_node.bucket = left_bucket.to_vec();
     let mut right_node = KdNode::leaf();
+    // alloc: large-mem — settled right bucket (split writes recorded above)
     right_node.bucket = right_bucket.to_vec();
     let left_idx = tree.nodes.len();
     tree.nodes.push(left_node);

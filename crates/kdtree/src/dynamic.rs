@@ -19,6 +19,7 @@
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_geom::bbox::BBoxK;
 use pwe_geom::point::PointK;
+use pwe_primitives::hash::{DetHashMap, DetHashSet};
 
 use crate::build::{build_classic, build_p_batched, recommended_p, DEFAULT_LEAF_CAPACITY};
 use crate::tree::{KdTree, EMPTY};
@@ -73,8 +74,8 @@ pub struct LogarithmicKdForest<const K: usize> {
     next_id: u64,
     live: usize,
     dead: usize,
-    deleted: std::collections::HashSet<u64>,
-    live_ids: std::collections::HashSet<u64>,
+    deleted: DetHashSet<u64>,
+    live_ids: DetHashSet<u64>,
     seed: u64,
 }
 
@@ -87,8 +88,8 @@ impl<const K: usize> LogarithmicKdForest<K> {
             next_id: 0,
             live: 0,
             dead: 0,
-            deleted: std::collections::HashSet::new(),
-            live_ids: std::collections::HashSet::new(),
+            deleted: DetHashSet::default(),
+            live_ids: DetHashSet::default(),
             seed: 0x9E3779B97F4A7C15,
         }
     }
@@ -260,9 +261,9 @@ fn reorder_ids<const K: usize>(
     original_ids: &[u64],
     stored_points: &[PointK<K>],
 ) -> Vec<u64> {
-    use std::collections::HashMap;
     let key = |p: &PointK<K>| -> Vec<u64> { p.coords.iter().map(|c| c.to_bits()).collect() };
-    let mut pool: HashMap<Vec<u64>, Vec<u64>> = HashMap::with_capacity(original_points.len());
+    let mut pool: DetHashMap<Vec<u64>, Vec<u64>> =
+        DetHashMap::with_capacity_and_hasher(original_points.len(), Default::default());
     for (p, &id) in original_points.iter().zip(original_ids) {
         pool.entry(key(p)).or_default().push(id);
     }

@@ -24,12 +24,17 @@
 //! * [`hash`] — a fixed-seed hasher ([`hash::DetState`]) for the few places
 //!   that still want a hash map on an instrumented path: `RandomState` would
 //!   make recorded totals differ from process to process.
+//! * [`racecheck`] — the region-claim schedule sanitizer (default-off
+//!   `racecheck` feature): parallel fan-outs register the region they are
+//!   about to touch and overlapping claims from logically concurrent tasks
+//!   panic with both tasks' provenance.
 
 pub mod hash;
 pub mod merge;
 pub mod pack;
 pub mod permute;
 pub mod priority_write;
+pub mod racecheck;
 pub mod scan;
 pub mod semisort;
 pub mod tournament;

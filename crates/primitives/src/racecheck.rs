@@ -1,0 +1,160 @@
+//! Region-claim schedule sanitizer (the dynamic half of `pwe-analyze`).
+//!
+//! The parallel engines in this workspace fan work out over *disjoint*
+//! regions — `split_at_mut` halves of an arena, or reserved id ranges in
+//! the Delaunay commit step — and their safety argument is exactly that
+//! disjointness.  With the `racecheck` cargo feature enabled, every such
+//! fan-out registers an RAII [`RegionClaim`] describing the region it is
+//! about to touch, and a process-wide ledger cross-checks each new claim
+//! against every earlier overlapping claim in the same *space*:
+//!
+//! * the two claims' fork-tree labels (see `rayon::racecheck`) are
+//!   **concurrent** (they first diverge at the two arms of one `join`) →
+//!   the disjointness argument is broken; panic with both provenances;
+//! * the labels are sequentially ordered (ancestor/descendant, or two
+//!   joins issued in program order) → overlap is fine — e.g. a parent
+//!   claims `0..n` and each child half of it, or two rounds of a loop
+//!   reuse one buffer.
+//!
+//! Claims are **retained after the guard drops**.  Detection therefore
+//! depends only on the fork structure, not on the schedule: at
+//! `RAYON_NUM_THREADS=1` the two arms of a `join` run back-to-back, yet
+//! their labels still say "concurrent", so an overlap between them is
+//! caught exactly as it would be on a 64-thread box.
+//!
+//! Spaces keep unrelated coordinates apart: [`claim_slice`] claims machine
+//! addresses (space 0 — all slices share it, which is what catches two
+//! tasks aliasing one buffer), while [`claim_range`] claims logical
+//! indices in a caller-owned space from [`fresh_space`] (the Delaunay
+//! engine draws one per round for its reserved triangle-id ranges).
+//!
+//! When the feature is off this whole module is replaced by inline no-op
+//! stubs: no mutex, no allocation, no atomics — counters, layout
+//! determinism and `BENCH_*` numbers are unperturbed, and call sites need
+//! no `cfg`.
+
+#[cfg(feature = "racecheck")]
+mod imp {
+    use crate::hash::DetHashMap;
+    use rayon::racecheck::{concurrent, current_path};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Address space for [`claim_slice`](super::claim_slice) claims.
+    const ADDR_SPACE: u64 = 0;
+
+    struct ClaimRec {
+        lo: u64,
+        hi: u64,
+        site: &'static str,
+        path: Vec<(u64, u8)>,
+    }
+
+    /// All claims ever made, grouped by space.  Retained for the life of
+    /// the process (see the module doc): the table is a sanitizer, sized
+    /// by the number of fork points above the engines' sequential
+    /// cutoffs, not by element count.
+    static LEDGER: Mutex<Option<DetHashMap<u64, Vec<ClaimRec>>>> = Mutex::new(None);
+
+    static NEXT_SPACE: AtomicU64 = AtomicU64::new(1);
+
+    pub fn fresh_space() -> u64 {
+        NEXT_SPACE.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn register(space: u64, lo: u64, hi: u64, site: &'static str) {
+        if lo >= hi {
+            return; // empty region claims nothing
+        }
+        let path = current_path();
+        let mut guard = LEDGER.lock().unwrap();
+        let table = guard.get_or_insert_with(DetHashMap::default);
+        let claims = table.entry(space).or_default();
+        for prev in claims.iter() {
+            if prev.lo < hi && lo < prev.hi && concurrent(&prev.path, &path) {
+                // Format before panicking so the report survives even if
+                // the panic unwinds through poisoned-lock territory.
+                let msg = format!(
+                    "racecheck: overlapping region claims from concurrent tasks\n  \
+                     space {space}: [{plo}, {phi}) claimed at {psite} by task {ppath:?}\n  \
+                     space {space}: [{lo}, {hi}) claimed at {site} by task {path:?}\n  \
+                     the two tasks are the arms of one fork (labels diverge at the \
+                     same join), so the regions must be disjoint",
+                    plo = prev.lo,
+                    phi = prev.hi,
+                    psite = prev.site,
+                    ppath = prev.path,
+                );
+                drop(guard);
+                panic!("{msg}");
+            }
+        }
+        claims.push(ClaimRec { lo, hi, site, path });
+    }
+
+    /// See [`super::claim_slice`].
+    pub fn claim_slice<T>(slice: &[T], site: &'static str) -> super::RegionClaim {
+        let lo = slice.as_ptr() as u64;
+        let hi = lo + (std::mem::size_of_val(slice) as u64);
+        register(ADDR_SPACE, lo, hi, site);
+        super::RegionClaim(())
+    }
+
+    /// See [`super::claim_range`].
+    pub fn claim_range(space: u64, lo: u64, hi: u64, site: &'static str) -> super::RegionClaim {
+        register(space, lo, hi, site);
+        super::RegionClaim(())
+    }
+}
+
+/// Witness that a region claim was registered.  Bind it with
+/// `let _claim = …;` so it spans the code that touches the region.
+///
+/// Dropping the guard does **not** retract the claim — retention is what
+/// makes detection schedule-independent (module doc) — so the guard
+/// carries no state and is free to construct; its only job is to make the
+/// claim's extent explicit at the call site.
+#[must_use = "bind the claim so it spans the region-touching code"]
+pub struct RegionClaim(());
+
+/// Claim the byte range covered by `slice` in the shared address space
+/// and panic if a logically concurrent task already claimed an
+/// overlapping range.  No-op without the `racecheck` feature.
+#[cfg(feature = "racecheck")]
+pub fn claim_slice<T>(slice: &[T], site: &'static str) -> RegionClaim {
+    imp::claim_slice(slice, site)
+}
+
+/// Claim the logical half-open range `lo..hi` inside `space` and panic if
+/// a logically concurrent task already claimed an overlapping range
+/// there.  No-op without the `racecheck` feature.
+#[cfg(feature = "racecheck")]
+pub fn claim_range(space: u64, lo: u64, hi: u64, site: &'static str) -> RegionClaim {
+    imp::claim_range(space, lo, hi, site)
+}
+
+/// Draw a fresh logical claim space (never 0, which is the address
+/// space).  Without the feature this returns 0; the value is only ever
+/// handed back to [`claim_range`], which ignores it.
+#[cfg(feature = "racecheck")]
+pub fn fresh_space() -> u64 {
+    imp::fresh_space()
+}
+
+#[cfg(not(feature = "racecheck"))]
+#[inline(always)]
+pub fn claim_slice<T>(_slice: &[T], _site: &'static str) -> RegionClaim {
+    RegionClaim(())
+}
+
+#[cfg(not(feature = "racecheck"))]
+#[inline(always)]
+pub fn claim_range(_space: u64, _lo: u64, _hi: u64, _site: &'static str) -> RegionClaim {
+    RegionClaim(())
+}
+
+#[cfg(not(feature = "racecheck"))]
+#[inline(always)]
+pub fn fresh_space() -> u64 {
+    0
+}

@@ -39,10 +39,10 @@
 //! cursor copy) are charged to the scan pass.  With `#buckets ≈ n/4` the
 //! recorded writes stay well under `4n` (asserted by a property test).
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::hash::DetHashMap;
 use crate::scan::par_exclusive_scan;
 use pwe_asym::counters::{record_reads, record_writes};
 use pwe_asym::depth;
@@ -201,7 +201,10 @@ where
 }
 
 /// Count the number of records per key (a histogram), in linear expected work.
-pub fn count_by_key<T, K, F>(items: &[T], key: F) -> HashMap<K, usize>
+///
+/// Returns a [`DetHashMap`] so the histogram's iteration order (and thus any
+/// structure derived from it) is identical across processes and thread counts.
+pub fn count_by_key<T, K, F>(items: &[T], key: F) -> DetHashMap<K, usize>
 where
     T: Sync,
     K: Eq + Hash + Send,
@@ -209,7 +212,7 @@ where
 {
     record_reads(items.len() as u64);
     depth::add(depth::log2_ceil(items.len().max(1)));
-    let mut counts = HashMap::new();
+    let mut counts = DetHashMap::default();
     for item in items {
         *counts.entry(key(item)).or_insert(0) += 1;
     }

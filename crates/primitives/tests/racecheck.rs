@@ -1,0 +1,173 @@
+//! Sanitizer acceptance tests: seeded overlaps between concurrent tasks
+//! must fail loudly, and every legitimate claim pattern the engines use
+//! must stay silent.  The whole file is compiled only with the
+//! `racecheck` feature; CI runs it at `RAYON_NUM_THREADS=1` and `4`, and
+//! the verdicts must be identical (claims are retained and compared by
+//! fork-tree label, not by observed interleaving).
+#![cfg(feature = "racecheck")]
+
+use pwe_primitives::racecheck::{claim_range, claim_slice, fresh_space};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f` and return the panic message it died with, if any.
+fn panic_message(f: impl FnOnce()) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string()),
+        ),
+    }
+}
+
+#[test]
+fn overlapping_claims_in_join_arms_panic() {
+    let data = vec![0u64; 1024];
+    let msg = panic_message(|| {
+        rayon::join(
+            || {
+                let _claim = claim_slice(&data[..600], "test::arm_a");
+                std::hint::black_box(&data[..600]);
+            },
+            || {
+                // Overlaps [512..600) of arm a's claim: a seeded race.
+                let _claim = claim_slice(&data[512..], "test::arm_b");
+                std::hint::black_box(&data[512..]);
+            },
+        );
+    });
+    let msg = msg.expect("overlapping concurrent claims must panic");
+    assert!(msg.contains("racecheck"), "unexpected panic: {msg}");
+    assert!(msg.contains("test::arm_a") && msg.contains("test::arm_b"));
+}
+
+#[test]
+fn disjoint_claims_in_join_arms_are_fine() {
+    let mut data = vec![0u64; 4096];
+    let (left, right) = data.split_at_mut(2048);
+    rayon::join(
+        || {
+            let _claim = claim_slice(left, "test::left");
+            left.fill(1);
+        },
+        || {
+            let _claim = claim_slice(right, "test::right");
+            right.fill(2);
+        },
+    );
+    assert!(data[..2048].iter().all(|&x| x == 1));
+    assert!(data[2048..].iter().all(|&x| x == 2));
+}
+
+#[test]
+fn ancestor_claim_may_cover_descendant_claims() {
+    let mut data = vec![0u64; 4096];
+    // The parent claims the whole arena, then forks over disjoint halves —
+    // the pattern of every recursive builder in the workspace.  Ancestor
+    // and descendant are sequentially ordered, so the nesting is fine.
+    let _whole = claim_slice(&data, "test::parent");
+    let (left, right) = data.split_at_mut(2048);
+    rayon::join(
+        || {
+            let _claim = claim_slice(left, "test::left_half");
+            left.fill(1);
+        },
+        || {
+            let _claim = claim_slice(right, "test::right_half");
+            right.fill(2);
+        },
+    );
+}
+
+#[test]
+fn sequential_phases_may_reuse_a_buffer() {
+    let data = vec![0u64; 2048];
+    // Two joins issued back-to-back by the same task: their subtrees are
+    // ordered by program order, so both phases may claim the same region.
+    for phase in 0..2 {
+        rayon::join(
+            || {
+                let _claim = claim_slice(&data[..1024], "test::phase_left");
+                std::hint::black_box(phase);
+            },
+            || {
+                let _claim = claim_slice(&data[1024..], "test::phase_right");
+            },
+        );
+    }
+}
+
+#[test]
+fn logical_spaces_are_independent() {
+    let round_a = fresh_space();
+    let round_b = fresh_space();
+    assert_ne!(round_a, round_b);
+    assert_ne!(round_a, 0, "space 0 is reserved for addresses");
+    // Identical numeric ranges in different spaces never conflict, even
+    // from concurrent tasks — this is why the Delaunay engine draws a
+    // fresh space per round instead of reusing triangle-id coordinates.
+    rayon::join(
+        || {
+            let _claim = claim_range(round_a, 0, 100, "test::space_a");
+        },
+        || {
+            let _claim = claim_range(round_b, 0, 100, "test::space_b");
+        },
+    );
+}
+
+#[test]
+fn overlapping_logical_ranges_in_one_space_panic() {
+    let space = fresh_space();
+    let msg = panic_message(|| {
+        rayon::join(
+            || {
+                let _claim = claim_range(space, 0, 64, "test::reserve_a");
+            },
+            || {
+                let _claim = claim_range(space, 63, 128, "test::reserve_b");
+            },
+        );
+    });
+    let msg = msg.expect("overlapping reserved ranges must panic");
+    assert!(msg.contains("racecheck"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn empty_ranges_claim_nothing() {
+    let space = fresh_space();
+    rayon::join(
+        || {
+            let _claim = claim_range(space, 50, 50, "test::empty");
+        },
+        || {
+            let _claim = claim_range(space, 0, 100, "test::full");
+        },
+    );
+}
+
+/// The detection verdict must not depend on who actually ran what: force a
+/// fully serial schedule and the seeded overlap must still be caught.
+#[test]
+fn serial_schedule_still_catches_the_race() {
+    let data = vec![0u8; 256];
+    let msg = panic_message(|| {
+        rayon::with_sequential(|| {
+            rayon::join(
+                || {
+                    let _claim = claim_slice(&data[..200], "test::serial_a");
+                },
+                || {
+                    let _claim = claim_slice(&data[100..], "test::serial_b");
+                },
+            );
+        });
+    });
+    assert!(
+        msg.is_some_and(|m| m.contains("racecheck")),
+        "race must be caught even on a serial schedule"
+    );
+}

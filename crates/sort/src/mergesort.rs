@@ -6,6 +6,8 @@
 //! paper's `O(n log n + ωn)` incremental sort improves on (Section 4; the
 //! paper's own comparison point is the write-optimal but much more involved
 //! Cole's-mergesort-based sort of \[14\]).
+//!
+//! pwe-lint: deny-untracked-alloc
 
 use pwe_asym::depth;
 use pwe_asym::parallel::par_join;
@@ -35,6 +37,7 @@ pub fn merge_sort_baseline_with_scratch<K: Ord + Copy + Send + Sync>(
     let n = keys.len();
     let ledger = SmallMem::logarithmic(n, MERGESORT_SCRATCH_C);
     if n <= 1 {
+        // alloc: large-mem — n ≤ 1 output copy
         return (keys.to_vec(), ledger.report());
     }
     let out = sort_rec(keys, &ledger, 0);
@@ -52,6 +55,7 @@ fn sort_rec<K: Ord + Copy + Send + Sync>(keys: &[K], ledger: &SmallMem, level: u
         // The sequential base case still pays the model's n log n writes of a
         // standard comparison sort on its block; its in-place pivot stack is
         // O(log n) words of task scratch.
+        // alloc: large-mem — base-case block copy (its n·log n writes are recorded below)
         let mut v = keys.to_vec();
         v.sort_unstable();
         let levels = pwe_asym::depth::log2_ceil(n.max(1));
@@ -65,6 +69,7 @@ fn sort_rec<K: Ord + Copy + Send + Sync>(keys: &[K], ledger: &SmallMem, level: u
         || sort_rec(&keys[..mid], ledger, level + 1),
         || sort_rec(&keys[mid..], ledger, level + 1),
     );
+    // alloc: large-mem — merge output buffer (Θ(n) writes charged by merge_into)
     let mut out = vec![keys[0]; n];
     merge_into(&left, &right, &mut out, &|a: &K, b: &K| a < b);
     out

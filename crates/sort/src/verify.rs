@@ -1,6 +1,6 @@
 //! Output verification helpers shared by tests, examples and the harness.
 
-use std::collections::HashMap;
+use pwe_primitives::hash::DetHashMap;
 use std::hash::Hash;
 
 /// Whether the slice is sorted in non-decreasing order.
@@ -13,7 +13,8 @@ pub fn same_multiset<K: Eq + Hash>(a: &[K], b: &[K]) -> bool {
     if a.len() != b.len() {
         return false;
     }
-    let mut counts: HashMap<&K, i64> = HashMap::with_capacity(a.len());
+    let mut counts: DetHashMap<&K, i64> =
+        DetHashMap::with_capacity_and_hasher(a.len(), Default::default());
     for x in a {
         *counts.entry(x).or_insert(0) += 1;
     }

@@ -238,11 +238,17 @@ fn pool_uses_multiple_threads_when_configured() {
     if rayon::current_num_threads() < 2 {
         return; // RAYON_NUM_THREADS=1: sequential leg, nothing to observe.
     }
-    use std::collections::HashSet;
-    let seen = Mutex::new(HashSet::new());
-    fn spread(levels: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+    // A tiny Vec stands in for a set: ThreadId is not Ord and the workspace
+    // lint (D1) bans ad-hoc RandomState maps even in tests.
+    let seen = Mutex::new(Vec::new());
+    fn spread(levels: usize, seen: &Mutex<Vec<std::thread::ThreadId>>) {
         if levels == 0 {
-            seen.lock().unwrap().insert(std::thread::current().id());
+            let id = std::thread::current().id();
+            let mut guard = seen.lock().unwrap();
+            if !guard.contains(&id) {
+                guard.push(id);
+            }
+            drop(guard);
             std::hint::black_box((0..20_000u64).sum::<u64>());
             return;
         }

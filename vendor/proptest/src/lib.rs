@@ -6,10 +6,19 @@
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
 //! Differences from the real crate: inputs are drawn from a deterministic
-//! per-(test, case) seed, and failing cases are reported but **not shrunk**.
-//! That keeps the dependency offline-buildable while preserving the
-//! regression value of the properties (deterministic seeds mean a failure
-//! reproduces on every run).
+//! per-(test, case) seed, and shrinking is a bounded greedy pass rather
+//! than the real crate's full search.  On a failing case the runner asks
+//! the strategy for simpler candidate inputs ([`Strategy::shrink`]),
+//! re-runs the property on each, and restarts from the first candidate
+//! that still fails, up to a fixed attempt budget ([`minimize`]); the
+//! panic then reports the minimal failing input it reached.  Integer
+//! ranges shrink toward their lower bound, vectors shrink structurally
+//! (halves, dropped ends) and element-wise, tuples shrink one component
+//! at a time.  Shrink attempts re-run the property body, so a body that
+//! fails via plain `assert!` (a panic, caught and converted) may print
+//! extra panic output while shrinking; `prop_assert!` stays silent.
+//! Everything remains offline-buildable and deterministic: a failure
+//! reproduces — and shrinks identically — on every run.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SampleStandard, SeedableRng};
@@ -87,20 +96,147 @@ impl TestRunner {
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate inputs strictly simpler than `value`, most aggressive
+    /// first; the runner re-tests them in order and greedily restarts from
+    /// the first that still fails.  Returning an empty list (the default)
+    /// means `value` is already minimal for this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Greedy shrink driver: repeatedly replaces `value` with the first
+/// [`Strategy::shrink`] candidate for which `still_fails` holds, until no
+/// candidate fails or the attempt budget (512 re-runs) is spent.  Returns
+/// the minimal failing value reached and the number of successful shrink
+/// steps.  Deterministic: candidate order is a pure function of the value.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    still_fails: impl Fn(&S::Value) -> bool,
+) -> (S::Value, u32) {
+    let mut attempts = 0u32;
+    let mut steps = 0u32;
+    loop {
+        let mut progressed = false;
+        for candidate in strategy.shrink(&value) {
+            if attempts >= 512 {
+                return (value, steps);
+            }
+            attempts += 1;
+            if still_fails(&candidate) {
+                value = candidate;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (value, steps);
+        }
+    }
+}
+
+/// Render a caught panic payload for the failure report.
+#[doc(hidden)]
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Case loop behind the `proptest!` macro: sample, run, and on failure
+/// greedily shrink before panicking with the minimal failing input.  A
+/// panicking body (plain `assert!`) is caught and treated like a
+/// `prop_assert!` failure so it shrinks too.
+#[doc(hidden)]
+pub fn __run_property<S: Strategy>(
+    runner: &TestRunner,
+    strategy: &S,
+    name: &str,
+    body: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: fmt::Debug,
+{
+    let run_case = |vals: &S::Value| -> Result<(), TestCaseError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(vals))) {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(TestCaseError::fail(panic_message(payload))),
+        }
+    };
+    for case in 0..runner.cases() {
+        let mut rng = runner.rng_for_case(case);
+        let vals = strategy.sample(&mut rng);
+        if run_case(&vals).is_err() {
+            let (minimal, steps) = minimize(strategy, vals, |c| run_case(c).is_err());
+            let err = run_case(&minimal).expect_err("shrunk case must still fail the property");
+            panic!(
+                "proptest property {name} failed at case {case}/{}: {err}\n\
+                 minimal failing input (after {steps} shrink steps): {minimal:?}",
+                runner.cases(),
+            );
+        }
+    }
+}
+
+/// Shared integer shrink: toward the range's lower bound — the bound
+/// itself first (most aggressive), then the midpoint, then one step down.
+fn shrink_int_toward<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + IntDiv2 + One,
+{
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    out.push(lo);
+    let mid = lo + (v - lo).div2();
+    if lo < mid && mid < v {
+        out.push(mid);
+    }
+    let prev = v - T::one();
+    if lo < prev && prev != mid {
+        out.push(prev);
+    }
+    out
+}
+
+#[doc(hidden)]
+pub trait IntDiv2 {
+    fn div2(self) -> Self;
+}
+#[doc(hidden)]
+pub trait One {
+    fn one() -> Self;
 }
 
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
+        impl IntDiv2 for $t {
+            fn div2(self) -> Self { self / 2 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 }
+        }
         impl Strategy for Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start, *v)
             }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start(), *v)
             }
         }
     )*};
@@ -112,26 +248,114 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut StdRng) -> f64 {
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let lo = self.start;
+        if *v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        // Halving converges fast enough under the attempt budget; exact
+        // minimality is not a goal for floats.
+        let mid = lo + (*v - lo) / 2.0;
+        if lo < mid && mid < *v {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+            // One component at a time, the others held fixed.
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&v.$idx) {
+                        let mut t = v.clone();
+                        t.$idx = candidate;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9),
+    (K, 10)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9),
+    (K, 10),
+    (L, 11)
+);
 
 /// Strategy for a whole-domain value of `T` (proptest's `any`).
 pub struct Any<T> {
@@ -173,11 +397,40 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        // Structural candidates first (halves, dropped ends — never below
+        // the strategy's minimum length, so every candidate is a value the
+        // strategy could have produced), then element-wise: each position
+        // replaced by its element's most aggressive shrink.
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.size.start;
+            let len = v.len();
+            if len > min_len {
+                let half = len / 2;
+                if half >= min_len && half < len {
+                    out.push(v[..half].to_vec());
+                    out.push(v[len - half..].to_vec());
+                }
+                out.push(v[1..].to_vec());
+                out.push(v[..len - 1].to_vec());
+            }
+            for i in 0..len {
+                if let Some(candidate) = self.element.shrink(&v[i]).into_iter().next() {
+                    let mut w = v.clone();
+                    w[i] = candidate;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -213,21 +466,13 @@ macro_rules! __proptest_impl {
         #[test]
         fn $name() {
             let runner = $crate::TestRunner::new($cfg, stringify!($name));
-            for case in 0..runner.cases() {
-                let mut rng = runner.rng_for_case(case);
-                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(e) = outcome {
-                    panic!(
-                        "proptest property {} failed at case {}/{}: {}",
-                        stringify!($name),
-                        case,
-                        runner.cases(),
-                        e
-                    );
-                }
-            }
+            // All arguments form one tuple strategy so a failing input can
+            // be shrunk as a whole (one component at a time).
+            let __strategy = ($($strat,)+);
+            $crate::__run_property(&runner, &__strategy, stringify!($name), |__vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                (|| { $body ::std::result::Result::Ok(()) })()
+            });
         }
     )+};
 }
@@ -326,5 +571,60 @@ mod tests {
         let a: u64 = crate::Strategy::sample(&(0u64..1_000_000), &mut runner.rng_for_case(2));
         let b: u64 = crate::Strategy::sample(&(0u64..1_000_000), &mut runner.rng_for_case(2));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_shrink_candidates_stay_in_range_and_get_smaller() {
+        let strat = 10u32..1000;
+        for c in crate::Strategy::shrink(&strat, &900) {
+            assert!((10..900).contains(&c), "candidate {c} not simpler/in-range");
+        }
+        // The lower bound itself is already minimal.
+        assert!(crate::Strategy::shrink(&strat, &10).is_empty());
+        let incl = -5i64..=5;
+        for c in crate::Strategy::shrink(&incl, &5) {
+            assert!((-5..5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn minimize_finds_the_integer_failure_boundary() {
+        // Property "v < 37" fails for v ≥ 37; greedy shrinking from any
+        // failing start must land exactly on the boundary.
+        let (minimal, steps) = crate::minimize(&(0u64..1000), 912, |v| *v >= 37);
+        assert_eq!(minimal, 37);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn minimize_respects_vec_min_length_and_shrinks_elements() {
+        let strat = crate::collection::vec(0u32..100, 1..64);
+        let start: Vec<u32> = (0..24).map(|i| 90 - i).collect();
+        // Fails whenever the vector has ≥ 3 elements (values irrelevant):
+        // the minimal failing input is three copies of the element minimum.
+        let (minimal, _) = crate::minimize(&strat, start, |v| v.len() >= 3);
+        assert_eq!(minimal, vec![0, 0, 0]);
+        // Every structural candidate respects the strategy's minimum size.
+        let short = vec![7u32, 8];
+        for c in crate::Strategy::shrink(&strat, &short) {
+            assert!(!c.is_empty(), "candidate shorter than the 1.. size range");
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_tuples_componentwise() {
+        let strat = (0u32..100, 0u32..100);
+        let (minimal, _) = crate::minimize(&strat, (60, 70), |&(a, b)| a + b >= 10);
+        assert_eq!(
+            minimal.0 + minimal.1,
+            10,
+            "boundary not reached: {minimal:?}"
+        );
+    }
+
+    #[test]
+    fn minimize_returns_start_when_already_minimal() {
+        let (minimal, steps) = crate::minimize(&(0u64..1000), 0, |_| true);
+        assert_eq!((minimal, steps), (0, 0));
     }
 }

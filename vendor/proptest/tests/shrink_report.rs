@@ -1,0 +1,38 @@
+//! End-to-end check of the failure path: a failing property must panic
+//! with a report that includes the *minimal* failing input.
+
+use proptest::prelude::*;
+
+#[test]
+fn failing_property_reports_minimal_input() {
+    let runner = TestRunner::new(ProptestConfig::with_cases(8), "shrink_report");
+    let strategy = (0u64..10_000,);
+    let outcome = std::panic::catch_unwind(|| {
+        proptest::__run_property(&runner, &strategy, "shrink_report", |&(v,)| {
+            if v >= 123 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        });
+    });
+    let payload = outcome.expect_err("property fails for v ≥ 123 at these case counts");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("minimal failing input"), "report: {msg}");
+    assert!(
+        msg.contains("(123,)"),
+        "shrinking should land on the boundary 123, got: {msg}"
+    );
+}
+
+#[test]
+fn passing_property_is_silent() {
+    let runner = TestRunner::new(ProptestConfig::with_cases(8), "silent");
+    proptest::__run_property(&runner, &(0u32..10,), "silent", |&(v,)| {
+        assert!(v < 10);
+        Ok(())
+    });
+}

@@ -46,6 +46,8 @@
 
 pub mod iter;
 pub(crate) mod pool;
+#[cfg(feature = "racecheck")]
+pub mod racecheck;
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
@@ -126,6 +128,31 @@ where
     RA: Send,
     RB: Send,
 {
+    // Under `racecheck`, wrap both arms with fork-tree labels *before* any
+    // scheduling decision: labels must be identical whether the branches run
+    // inline (sequential mode, single-thread pool, un-stolen pop) or on a
+    // thief, or the sanitizer would miss races on serial schedules.
+    #[cfg(feature = "racecheck")]
+    {
+        let join_id = racecheck::fresh_join_id();
+        let parent = racecheck::current();
+        let parent_b = parent.clone();
+        join_inner(
+            move || racecheck::run_labeled(parent, join_id, 0, a),
+            move || racecheck::run_labeled(parent_b, join_id, 1, b),
+        )
+    }
+    #[cfg(not(feature = "racecheck"))]
+    join_inner(a, b)
+}
+
+fn join_inner<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
     if in_sequential_mode() {
         let ra = a();
         let rb = b();
@@ -139,6 +166,10 @@ where
     }
 
     let job_b = pool::StackJob::new(b);
+    // SAFETY: `job_b` lives on this frame until one of the two arms below
+    // completes — either `pop_if` reclaims the ref un-stolen, or
+    // `wait_until` blocks here until the thief sets the latch — so the
+    // erased pointer never outlives the job it points to.
     let job_ref = unsafe { job_b.as_job_ref() };
     let tag = job_ref.data();
     registry.push(job_ref);
@@ -178,7 +209,6 @@ pub fn current_num_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use std::collections::HashSet;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
 
@@ -260,10 +290,17 @@ mod tests {
             // RAYON_NUM_THREADS=1: the pool is disabled by design.
             return;
         }
-        let seen = Mutex::new(HashSet::new());
-        fn spread(depth: usize, seen: &Mutex<HashSet<std::thread::ThreadId>>) {
+        // Vec-as-set: ThreadId is not Ord, and the workspace lint (D1) bans
+        // ad-hoc RandomState collections everywhere, tests included.
+        let seen = Mutex::new(Vec::new());
+        fn spread(depth: usize, seen: &Mutex<Vec<std::thread::ThreadId>>) {
             if depth == 0 {
-                seen.lock().unwrap().insert(std::thread::current().id());
+                let id = std::thread::current().id();
+                let mut guard = seen.lock().unwrap();
+                if !guard.contains(&id) {
+                    guard.push(id);
+                }
+                drop(guard);
                 // A little spinning makes steals overwhelmingly likely.
                 std::hint::black_box((0..20_000u64).sum::<u64>());
                 return;

@@ -49,11 +49,16 @@ thread_local! {
 /// one thread ever executes a given `JobRef`.
 pub(crate) struct JobRef {
     data: *const (),
+    // SAFETY: `execute_fn` is only ever `execute_stack_job::<F, R>` for the
+    // concrete `StackJob<F, R>` that `data` points to (`as_job_ref` pairs
+    // them), so the erased `*const ()` is always cast back to its true type.
     execute_fn: unsafe fn(*const ()),
 }
 
-// The pointer is only dereferenced by the executing thread while the owning
-// frame is pinned in `join`; the closure and result types are `Send`.
+// SAFETY: sending the raw pointer across threads is sound because the
+// pointee `StackJob` is pinned on the submitting thread's stack until its
+// latch is set, the pointer is dereferenced by exactly one executing thread,
+// and the closure and result types it erases are both `Send`.
 unsafe impl Send for JobRef {}
 
 impl JobRef {
@@ -61,6 +66,8 @@ impl JobRef {
         self.data
     }
 
+    // SAFETY: callers must uphold the `JobRef` contract above — the owning
+    // frame is still alive and no other thread will execute this ref.
     unsafe fn execute(self) {
         (self.execute_fn)(self.data)
     }
@@ -129,8 +136,9 @@ where
         &self.latch
     }
 
-    /// Safety: the caller must keep `self` alive until the latch is set or
-    /// the ref is removed from every queue via [`Registry::pop_if`].
+    /// SAFETY: the caller must keep `self` alive until the latch is set or
+    /// the ref is removed from every queue via [`Registry::pop_if`] — the
+    /// returned `JobRef` erases the borrow into a raw `*const ()`.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
         JobRef {
             data: self as *const StackJob<F, R> as *const (),
@@ -142,6 +150,8 @@ where
     /// un-stolen.  Panics propagate directly (no catch needed: nobody else
     /// holds a reference to the job any more).
     pub(crate) fn run_inline(&self) -> R {
+        // SAFETY: the job was just popped back un-stolen (`pop_if` returned
+        // true), so this thread is the only one touching the `UnsafeCell`.
         let func = unsafe { (*self.func.get()).take().unwrap() };
         func()
     }
@@ -149,6 +159,9 @@ where
     /// Consume the result written by the executing thread.  Must only be
     /// called after the latch is set.  Re-throws the job's panic, if any.
     pub(crate) fn take_result(&self) -> R {
+        // SAFETY: the latch is set, so the executing thread has written the
+        // result and will never touch the job again (latch-set is its last
+        // access); this thread now has exclusive access to the cell.
         let result = unsafe { (*self.result.get()).take().unwrap() };
         match result {
             Ok(value) => value,
@@ -160,10 +173,17 @@ where
     /// instead of re-throwing (used when branch `a` already panicked and
     /// its panic takes precedence).
     pub(crate) fn drop_result(&self) {
+        // SAFETY: same exclusivity argument as `take_result` — only called
+        // after the latch is set, when no other thread can reach the cell.
         let _ = unsafe { (*self.result.get()).take() };
     }
 }
 
+// SAFETY: callers must pass a `data` pointer produced by
+// `StackJob::<F, R>::as_job_ref` with these exact `F`/`R` (the `JobRef`
+// pairing guarantees it) while the owning frame is still pinned; this
+// function is then the unique executor, so the `UnsafeCell` accesses below
+// are unaliased.
 unsafe fn execute_stack_job<F, R>(data: *const ())
 where
     F: FnOnce() -> R + Send,
@@ -336,6 +356,9 @@ impl Registry {
     /// current context into the stolen task or back.
     fn execute(&self, job: JobRef) {
         let token = crate::hooks_enter();
+        // SAFETY: `job` came out of a queue, so it was never popped back by
+        // its owner (`pop_if` missed it) and this thread is its unique
+        // executor; the owner's frame stays pinned until the latch is set.
         unsafe { job.execute() };
         crate::hooks_exit(token);
     }

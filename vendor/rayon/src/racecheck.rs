@@ -1,0 +1,188 @@
+//! Fork-tree task labels for the `racecheck` schedule sanitizer.
+//!
+//! Every [`crate::join`] call draws a globally unique *join id*; its first
+//! closure runs under the caller's label extended with `(id, 0)` and its
+//! second under `(id, 1)`.  A task's **label** is therefore the path of
+//! `(join_id, branch)` steps from the root of the fork tree down to the
+//! task, and it encodes the series-parallel order of the computation:
+//!
+//! * label `A` is a **prefix** of label `B` → `A`'s task is an *ancestor*
+//!   of `B`'s, so the two are sequentially ordered (ancestor code before
+//!   the fork happens-before the descendant; code after the join
+//!   happens-after it);
+//! * `A` and `B` first diverge on steps with the **same join id** but
+//!   different branches → the tasks are the two arms of one `join`, hence
+//!   **concurrent** (logically parallel — even if this particular schedule
+//!   serialized them);
+//! * `A` and `B` first diverge on steps with **different join ids** → the
+//!   two joins were issued sequentially by their common ancestor, so the
+//!   tasks are ordered by program order.
+//!
+//! Labels depend only on the program's fork structure, never on which
+//! worker ran what or in what order steals happened.  That makes the
+//! sanitizer *schedule-independent*: an overlap between concurrent tasks is
+//! reported identically at `RAYON_NUM_THREADS=1` and at 64 threads.
+//!
+//! The label is carried in a thread-local and captured into both `join`
+//! closures at fork time, so a stolen job executes under the forker's
+//! lineage (not the thief's); the thief's own label is saved and restored
+//! around the stolen body by the same RAII guard that installs it.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One fork step, chained leaf-to-root.  Sharing the parent `Arc` makes
+/// extending a label O(1) per `join`; materializing root-to-leaf order is
+/// deferred to [`current_path`], which only runs when a claim is registered.
+pub(crate) struct Step {
+    parent: Option<Arc<Step>>,
+    join_id: u64,
+    branch: u8,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Step>>> = const { RefCell::new(None) };
+}
+
+static NEXT_JOIN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Unique id for one dynamic `join` call.
+pub(crate) fn fresh_join_id() -> u64 {
+    NEXT_JOIN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling task's label tip, for capture into a forked closure.
+pub(crate) fn current() -> Option<Arc<Step>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Restores the executing thread's previous label on drop, so a panic
+/// unwinding out of a branch (or a thief returning to its own work) never
+/// leaks the forked lineage into unrelated tasks.
+struct Restore(Option<Arc<Step>>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+/// Run `f` as branch `branch` of join `join_id`, forked from `parent`.
+pub(crate) fn run_labeled<R>(
+    parent: Option<Arc<Step>>,
+    join_id: u64,
+    branch: u8,
+    f: impl FnOnce() -> R,
+) -> R {
+    let step = Arc::new(Step {
+        parent,
+        join_id,
+        branch,
+    });
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(step));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Root-to-leaf snapshot of the current task's label: the `(join_id,
+/// branch)` steps from the fork tree's root down to the running task.  The
+/// root task (no `join` above it) has the empty path.
+pub fn current_path() -> Vec<(u64, u8)> {
+    let mut path = Vec::new();
+    let mut tip = current();
+    while let Some(step) = tip {
+        path.push((step.join_id, step.branch));
+        tip = step.parent.clone();
+    }
+    path.reverse();
+    path
+}
+
+/// Series-parallel relation between two task labels (root-to-leaf paths).
+///
+/// Returns `true` iff the tasks are concurrent: the paths first diverge at
+/// a step with the same join id but different branches.  Every other case —
+/// prefix (ancestor/descendant) or divergence across distinct join ids
+/// (program order) — is sequentially ordered.
+pub fn concurrent(a: &[(u64, u8)], b: &[(u64, u8)]) -> bool {
+    for (sa, sb) in a.iter().zip(b.iter()) {
+        if sa == sb {
+            continue;
+        }
+        return sa.0 == sb.0;
+    }
+    // One path is a prefix of the other: ancestor/descendant, ordered.
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_relation_cases() {
+        let left = [(1, 0)];
+        let right = [(1, 1)];
+        let left_child = [(1, 0), (2, 0)];
+        let later = [(3, 0)];
+        // Two arms of one join: concurrent.
+        assert!(concurrent(&left, &right));
+        // Deep cousins still diverge at the shared join: concurrent.
+        assert!(concurrent(&left_child, &right));
+        // Ancestor/descendant (prefix): ordered.
+        assert!(!concurrent(&left, &left_child));
+        assert!(!concurrent(&[], &left));
+        // Distinct joins issued sequentially by the root: ordered.
+        assert!(!concurrent(&left, &later));
+        // A task is not concurrent with itself.
+        assert!(!concurrent(&left, &left));
+    }
+
+    #[test]
+    fn join_arms_get_sibling_labels() {
+        let (pa, pb) = crate::join(current_path, current_path);
+        let depth_a = pa.len();
+        assert_eq!(depth_a, pb.len());
+        // Same join id on the last step, branches 0 and 1.
+        let (ja, ba) = pa[depth_a - 1];
+        let (jb, bb) = pb[depth_a - 1];
+        assert_eq!(ja, jb);
+        assert_eq!((ba, bb), (0, 1));
+        assert!(concurrent(&pa, &pb));
+        // The shared prefix is whatever task ran this test.
+        assert_eq!(pa[..depth_a - 1], pb[..depth_a - 1]);
+    }
+
+    #[test]
+    fn labels_nest_and_restore() {
+        let before = current_path();
+        let ((aa, ab), (ba, bb)) = crate::join(
+            || crate::join(current_path, current_path),
+            || crate::join(current_path, current_path),
+        );
+        assert_eq!(current_path(), before, "label must be restored after join");
+        for p in [&aa, &ab, &ba, &bb] {
+            assert_eq!(p.len(), before.len() + 2);
+        }
+        // Cross-pairs all concurrent; arms of the same inner join too.
+        assert!(concurrent(&aa, &ab));
+        assert!(concurrent(&aa, &ba));
+        assert!(concurrent(&ab, &bb));
+        // Inner joins on opposite sides have different ids but the outer
+        // divergence decides: still concurrent.
+        assert!(concurrent(&aa, &bb));
+    }
+
+    #[test]
+    fn labels_are_schedule_independent_in_sequential_mode() {
+        // `with_sequential` forces inline execution; the labels must come
+        // out shaped exactly like the parallel ones (ids are fresh draws,
+        // so compare structure, not values).
+        let (pa, pb) = crate::with_sequential(|| crate::join(current_path, current_path));
+        assert!(concurrent(&pa, &pb));
+        let last = pa.len() - 1;
+        assert_eq!(pa[last].0, pb[last].0);
+        assert_eq!((pa[last].1, pb[last].1), (0, 1));
+    }
+}
