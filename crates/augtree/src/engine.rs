@@ -216,8 +216,7 @@ pub(crate) fn kway_merge_into<T, K>(
     let mut right_srcs: Vec<&[T]> = Vec::with_capacity(srcs.len());
     let mut left_total = 0usize;
     for s in srcs {
-        let cut = s.partition_point(|e| key(e) < pivot);
-        record_reads(log2_ceil(s.len().max(2)));
+        let cut = pwe_primitives::search::run_partition_point(s, |e| key(e) < pivot);
         left_total += cut;
         left_srcs.push(&s[..cut]);
         right_srcs.push(&s[cut..]);

@@ -23,13 +23,26 @@
 //!   their balance information rewritten, so an insertion writes
 //!   `O(log_α n)` words; when a critical subtree doubles its weight it is
 //!   rebuilt with the post-sorted construction.
-
-use std::collections::BTreeMap;
+//!
+//! **Inner-structure representation.**  Each node's by-left / by-right
+//! inner structures are **flat sorted runs**: the parallel build packs them
+//! into two tree-wide arenas (`left_arena` / `right_arena`, one segment per
+//! node, in node-index order), and post-build attachments splice into a
+//! small per-node sorted overflow run that is merged back into an owned run
+//! past its `√(main)` cap — the same overflow-run discipline as
+//! [`crate::range_tree`], replacing the per-node B-trees.  Queries scan
+//! contiguous memory; the ARAM charges (one read per reported interval plus
+//! one failed probe per visited node) are those of the B-tree walk they
+//! replace.  A [`BlockedTree`] descent cache over the skeleton (built at
+//! build-finalize, dropped on shape changes and post-build attachments,
+//! kept across deletes) serves stabbing descents from blocked-local keys.
 
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_asym::depth;
 use pwe_geom::interval::Interval;
+use pwe_primitives::layout::{BlockedTree, NO_NODE};
 use pwe_primitives::racecheck;
+use pwe_primitives::search::branchless_partition_point;
 use pwe_sort_shim::sort_f64_keys;
 
 use crate::alpha::is_critical_weight;
@@ -82,6 +95,129 @@ mod pwe_sort_shim {
     }
 }
 
+/// One entry of a flattened inner run: the ordering key — `(endpoint key,
+/// id)`, unique per interval — and the interval itself.
+type StabEntry = ((u64, u64), Interval);
+
+/// One side (by-left or by-right) of a node's flattened inner structure: a
+/// sorted **main run** — a segment of the tree-wide arena right after the
+/// parallel build, or owned by the node once an update has repacked it —
+/// plus a small sorted overflow run for post-build attachments, merged back
+/// into an owned main run past its `√(main)` cap (the overflow-run
+/// discipline of [`crate::range_tree`]).
+#[derive(Debug, Clone, Default)]
+struct StabSide {
+    /// Offset of the arena-backed main run in the tree-wide arena.
+    base_off: usize,
+    /// Length of the arena-backed main run (0 once repacked, and for nodes
+    /// of the sequential builds, which attach through the overflow run).
+    base_len: usize,
+    /// Owned main run replacing the arena-backed one after a repack.
+    owned: Vec<StabEntry>,
+    /// Sorted overflow run for post-build attachments.
+    extra: Vec<StabEntry>,
+}
+
+impl StabSide {
+    fn len(&self) -> usize {
+        let main = if self.base_len > 0 {
+            self.base_len
+        } else {
+            self.owned.len()
+        };
+        main + self.extra.len()
+    }
+
+    fn is_side_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cap on a side's overflow run before it merges into an owned main run.
+#[inline]
+fn extra_cap(main_len: usize) -> usize {
+    main_len.isqrt().max(64)
+}
+
+/// Merge two sorted entry runs (keys are unique, so the order is strict).
+fn merge_entries(a: &[StabEntry], b: &[StabEntry]) -> Vec<StabEntry> {
+    // alloc: large-mem — the repacked owned run (uncharged physical layout maintenance)
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 < b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Splice one entry into a side's overflow run; past the cap, merge main +
+/// overflow into an owned run (uncharged physical repack — the caller
+/// charges the attachment's model writes).
+fn splice_side(side: &mut StabSide, arena: &[StabEntry], key: (u64, u64), s: Interval) {
+    let pos = branchless_partition_point(&side.extra, |e| e.0 < key);
+    side.extra.insert(pos, (key, s));
+    let main_len = if side.base_len > 0 {
+        side.base_len
+    } else {
+        side.owned.len()
+    };
+    if side.extra.len() > extra_cap(main_len) {
+        let main: &[StabEntry] = if side.base_len > 0 {
+            &arena[side.base_off..side.base_off + side.base_len]
+        } else {
+            &side.owned
+        };
+        side.owned = merge_entries(main, &side.extra);
+        side.base_len = 0;
+        side.extra = Vec::new();
+    }
+}
+
+/// Remove the entry with `key` from a side, if present.  An arena-backed
+/// main run is first repacked into an owned run (uncharged physical copy),
+/// mirroring the overflow-run discipline.
+fn remove_side(side: &mut StabSide, arena: &[StabEntry], key: (u64, u64)) -> bool {
+    if let Ok(pos) = side.extra.binary_search_by_key(&key, |e| e.0) {
+        side.extra.remove(pos);
+        return true;
+    }
+    if side.base_len > 0 {
+        let main = &arena[side.base_off..side.base_off + side.base_len];
+        if main.binary_search_by_key(&key, |e| e.0).is_err() {
+            return false;
+        }
+        side.owned = main.to_vec();
+        side.base_len = 0;
+    }
+    match side.owned.binary_search_by_key(&key, |e| e.0) {
+        Ok(pos) => {
+            side.owned.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Hot descent fields of the blocked stabbing cache: the node's key plus
+/// emptiness flags for both sides, so descents touch the cold node record
+/// only when there is something to report.  The flags are conservative
+/// under deletes (a flagged side may have become empty — harmless); any
+/// post-build attachment drops the cache instead.
+#[derive(Debug, Clone, Copy)]
+struct StabHot {
+    key: f64,
+    /// Bit 0: by-left side non-empty; bit 1: by-right side non-empty.
+    flags: u8,
+}
+
 /// One node of the interval tree.
 #[derive(Debug, Clone, Default)]
 struct Node {
@@ -89,10 +225,10 @@ struct Node {
     left: usize,
     right: usize,
     /// Intervals covering `key`, ordered by left endpoint (ascending).
-    by_left: BTreeMap<(u64, u64), Interval>,
+    by_left: StabSide,
     /// The same intervals, ordered by right endpoint (ascending; queries scan
     /// it from the back).
-    by_right: BTreeMap<(u64, u64), Interval>,
+    by_right: StabSide,
     /// Subtree weight (stored intervals + 1); kept up to date only while the
     /// node is critical.
     weight: usize,
@@ -143,6 +279,18 @@ pub struct IntervalTree {
     deletions: usize,
     /// Number of subtree reconstructions triggered by updates (diagnostic).
     pub rebuilds: u64,
+    /// Tree-wide by-left run arena: one sorted segment per node, packed in
+    /// node-index order by the parallel build (empty for the sequential
+    /// builds, whose runs are node-owned).
+    left_arena: Vec<StabEntry>,
+    /// Tree-wide by-right run arena (same packing).
+    right_arena: Vec<StabEntry>,
+    /// Cache-conscious descent cache over the skeleton, rebuilt at
+    /// build-finalize; dropped on shape changes and post-build attachments,
+    /// kept across deletes (see [`StabHot`]).  Purely derived: never
+    /// digested, identical answers and charges on either path
+    /// ([`Self::stab_flat`] keeps the flat path callable for comparison).
+    blocked: Option<BlockedTree<StabHot>>,
 }
 
 impl IntervalTree {
@@ -164,12 +312,15 @@ impl IntervalTree {
             built_len: intervals.len(),
             deletions: 0,
             rebuilds: 0,
+            left_arena: Vec::new(),
+            right_arena: Vec::new(),
+            blocked: None,
         };
         tree.nodes.reserve(2 * intervals.len());
         let mut buf = intervals.to_vec();
         let mut endpoints = vec![0.0f64; 2 * intervals.len()];
         tree.root = tree.build_classic_rec(&mut buf, &mut endpoints);
-        tree.finalize_weights();
+        tree.finalize_build();
         depth::add(depth::log2_ceil(intervals.len().max(1)));
         tree
     }
@@ -212,6 +363,13 @@ impl IntervalTree {
         idx
     }
 
+    /// Shared build-finalize tail: weight/criticality pass plus the blocked
+    /// descent cache.
+    fn finalize_build(&mut self) {
+        self.finalize_weights();
+        self.rebuild_blocked();
+    }
+
     /// The post-sorted construction (Theorem 7.1): sort the endpoints with
     /// the write-efficient sort, build a perfectly balanced search tree over
     /// them with `O(n)` writes, and assign every interval to the highest node
@@ -226,6 +384,9 @@ impl IntervalTree {
             built_len: intervals.len(),
             deletions: 0,
             rebuilds: 0,
+            left_arena: Vec::new(),
+            right_arena: Vec::new(),
+            blocked: None,
         };
         if intervals.is_empty() {
             return tree;
@@ -248,7 +409,7 @@ impl IntervalTree {
             let node = tree.locate_node(s);
             tree.attach_interval(node, s);
         }
-        tree.finalize_weights();
+        tree.finalize_build();
         depth::add(depth::log2_ceil(intervals.len()));
         tree
     }
@@ -297,6 +458,9 @@ impl IntervalTree {
             built_len: intervals.len(),
             deletions: 0,
             rebuilds: 0,
+            left_arena: Vec::new(),
+            right_arena: Vec::new(),
+            blocked: None,
         };
         if intervals.is_empty() {
             return (tree, crate::engine::AugBuildStats::default());
@@ -339,19 +503,39 @@ impl IntervalTree {
         record_reads(located.len() as u64 * depth::log2_ceil(located.len().max(2)));
         record_writes(located.len() as u64);
 
-        // 4. Attach each group to its node, forking over disjoint arena
-        //    regions (2 writes per interval, exactly as the sequential
-        //    attachment charges).
+        // 4. Attach each group to its node, forking over disjoint node and
+        //    run-arena regions (2 writes per interval, exactly as the
+        //    sequential attachment charges).  `located` is sorted by node
+        //    index, so arena slot == located slot packs each node's runs
+        //    contiguously, in node-index order.
         let runs = runs_of(&located);
-        attach_rec(&mut nodes, 0, &runs, &located, intervals, &ledger, 0);
+        // alloc: large-mem — the two flattened inner-run arenas, one slot per interval (their fills are the charged attachment writes)
+        let filler: StabEntry = ((0, 0), intervals[0]);
+        let mut left_arena = vec![filler; located.len()];
+        let mut right_arena = vec![filler; located.len()];
+        attach_rec(
+            &mut nodes,
+            0,
+            &runs,
+            &located,
+            intervals,
+            &mut left_arena,
+            &mut right_arena,
+            0,
+            &ledger,
+            0,
+        );
 
         tree.nodes = nodes;
+        tree.left_arena = left_arena;
+        tree.right_arena = right_arena;
 
         // 5. Weights + α-criticality, forked over the same regions.
         finalize_rec(&mut tree.nodes, alpha, 0, &ledger);
         tree.nodes[tree.root].critical = true;
         record_writes(tree.nodes.len() as u64);
         record_reads(tree.nodes.len() as u64);
+        tree.rebuild_blocked();
 
         depth::add(2 * depth::log2_ceil(intervals.len().max(2)));
         let stats = crate::engine::AugBuildStats {
@@ -375,12 +559,35 @@ impl IntervalTree {
             d.word(crate::engine::digest_idx(node.right));
             d.word(node.weight as u64);
             d.word(node.critical as u64);
-            for (&(k, id), _) in node.by_left.iter() {
+            // Fold the by-left entries in merged key order — the exact word
+            // sequence the pre-flattening B-tree iteration produced.
+            let main = self.side_main(&node.by_left, &self.left_arena);
+            let extra = &node.by_left.extra;
+            let (mut i, mut j) = (0, 0);
+            while i < main.len() || j < extra.len() {
+                let take_main = j >= extra.len() || (i < main.len() && main[i].0 < extra[j].0);
+                let (k, id) = if take_main {
+                    i += 1;
+                    main[i - 1].0
+                } else {
+                    j += 1;
+                    extra[j - 1].0
+                };
                 d.word(k);
                 d.word(id);
             }
         }
         d.finish()
+    }
+
+    /// The main run of one side: its arena segment, or the owned run once
+    /// repacked.
+    fn side_main<'a>(&self, side: &'a StabSide, arena: &'a [StabEntry]) -> &'a [StabEntry] {
+        if side.base_len > 0 {
+            &arena[side.base_off..side.base_off + side.base_len]
+        } else {
+            &side.owned
+        }
     }
 
     /// Descend from the root to the first node whose key is covered by `s`
@@ -421,10 +628,22 @@ impl IntervalTree {
 
     fn attach_interval(&mut self, node: usize, s: &Interval) {
         record_writes(2);
-        self.nodes[node].by_left.insert((f64_key(s.left), s.id), *s);
-        self.nodes[node]
-            .by_right
-            .insert((f64_key(s.right), s.id), *s);
+        // A post-build attachment can turn a side the blocked cache flagged
+        // empty into a non-empty one: drop the cache (builds re-create it).
+        self.blocked = None;
+        let nd = &mut self.nodes[node];
+        splice_side(
+            &mut nd.by_left,
+            &self.left_arena,
+            (f64_key(s.left), s.id),
+            *s,
+        );
+        splice_side(
+            &mut nd.by_right,
+            &self.right_arena,
+            (f64_key(s.right), s.id),
+            *s,
+        );
     }
 
     /// Recompute every subtree weight and the critical labeling (done after
@@ -496,12 +715,50 @@ impl IntervalTree {
     /// post-sorted (balanced) tree — against a small-memory ledger via
     /// `scratch`.  The reported intervals themselves are output writes to
     /// the large memory, not scratch.
+    ///
+    /// Descends the [`BlockedTree`] cache when one is live (built by the
+    /// constructions, dropped by post-build attachments), the flat arena
+    /// otherwise.  Both paths visit the same logical nodes and charge
+    /// identical ARAM reads (pinned by `tests/layout_equiv.rs`).
     pub fn stab_scratch(
         &self,
         x: f64,
         scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
     ) -> Vec<u64> {
         let mut out = Vec::new();
+        let levels = match &self.blocked {
+            Some(b) if b.root() != NO_NODE => self.stab_blocked_walk(b, x, scratch, &mut out),
+            _ => self.stab_flat_walk(x, scratch, &mut out),
+        };
+        // The path is released when the descent ends, so a guard reused
+        // across queries sees each descent's peak, not their sum.
+        scratch.free(levels);
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    /// [`IntervalTree::stab`] forced onto the flat (pre-blocked) descent —
+    /// the live "before" side of the query benchmarks.  Identical answers
+    /// and ARAM charges to the blocked path.
+    pub fn stab_flat(&self, x: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut scratch = pwe_asym::smallmem::TaskScratch::untracked();
+        let levels = self.stab_flat_walk(x, &mut scratch, &mut out);
+        scratch.free(levels);
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    /// The flat root-to-leaf stabbing descent; returns the path length
+    /// (scratch words still held).
+    fn stab_flat_walk(
+        &self,
+        x: f64,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+        out: &mut Vec<u64>,
+    ) -> u64 {
         let mut cur = self.root;
         let mut levels = 0u64;
         while cur != EMPTY {
@@ -510,31 +767,112 @@ impl IntervalTree {
             record_read();
             let node = &self.nodes[cur];
             if x <= node.key {
-                // All intervals here have left ≤ key; report those with left ≤ x.
-                for (_, s) in node.by_left.range(..=(f64_key(x), u64::MAX)) {
-                    record_read();
-                    debug_assert!(s.contains(x));
-                    out.push(s.id);
-                }
-                record_read(); // the failed probe that ends the scan
+                self.report_left(node, x, out);
                 cur = if x < node.key { node.left } else { EMPTY };
             } else {
-                // All intervals here have right ≥ key; report those with right ≥ x.
-                for (_, s) in node.by_right.range((f64_key(x), 0)..) {
-                    record_read();
-                    debug_assert!(s.contains(x));
-                    out.push(s.id);
-                }
-                record_read();
+                self.report_right(node, x, out);
                 cur = node.right;
             }
         }
-        // The path is released when the descent ends, so a guard reused
-        // across queries sees each descent's peak, not their sum.
-        scratch.free(levels);
-        record_writes(out.len() as u64);
-        out.sort_unstable();
-        out
+        levels
+    }
+
+    /// The same descent over the blocked cache: direction decisions read the
+    /// blocked-local key, and the emptiness flags skip the cold node record
+    /// when there is nothing to report (the failed-probe read is still
+    /// charged, keeping the counters identical to the flat walk).
+    fn stab_blocked_walk(
+        &self,
+        b: &BlockedTree<StabHot>,
+        x: f64,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        let mut cur = b.root();
+        let mut levels = 0u64;
+        while cur != NO_NODE {
+            scratch.alloc(1);
+            levels += 1;
+            record_read();
+            let bn = b.node(cur);
+            let hot = bn.payload;
+            if x <= hot.key {
+                if hot.flags & 1 != 0 {
+                    self.report_left(&self.nodes[bn.orig as usize], x, out);
+                } else {
+                    record_read(); // the failed probe of the (flagged-)empty side
+                }
+                cur = if x < hot.key { bn.left } else { NO_NODE };
+            } else {
+                if hot.flags & 2 != 0 {
+                    self.report_right(&self.nodes[bn.orig as usize], x, out);
+                } else {
+                    record_read();
+                }
+                cur = bn.right;
+            }
+        }
+        levels
+    }
+
+    /// Report `node`'s intervals with left endpoint ≤ `x` (all of them
+    /// contain `x` because every stored interval covers `node.key ≥ x`):
+    /// scan the main run then the overflow run, each sorted ascending by
+    /// left endpoint.  One read per reported interval plus exactly one
+    /// failed-probe read for the scan's end — the charge of the inner-walk
+    /// this flat scan replaces.
+    fn report_left(&self, node: &Node, x: f64, out: &mut Vec<u64>) {
+        let bound = f64_key(x);
+        let main = self.side_main(&node.by_left, &self.left_arena);
+        for run in [main, node.by_left.extra.as_slice()] {
+            for &((k, _), s) in run {
+                if k > bound {
+                    break;
+                }
+                record_read();
+                debug_assert!(s.contains(x));
+                out.push(s.id);
+            }
+        }
+        record_read(); // the failed probe that ends the scan
+    }
+
+    /// Report `node`'s intervals with right endpoint ≥ `x` (mirror of
+    /// [`Self::report_left`]): scan each run from the back.
+    fn report_right(&self, node: &Node, x: f64, out: &mut Vec<u64>) {
+        let bound = f64_key(x);
+        let main = self.side_main(&node.by_right, &self.right_arena);
+        for run in [main, node.by_right.extra.as_slice()] {
+            for &((k, _), s) in run.iter().rev() {
+                if k < bound {
+                    break;
+                }
+                record_read();
+                debug_assert!(s.contains(x));
+                out.push(s.id);
+            }
+        }
+        record_read();
+    }
+
+    /// (Re)build the blocked descent cache from the current skeleton.
+    /// Purely derived, uncharged physical-layout maintenance (MODEL.md §5).
+    fn rebuild_blocked(&mut self) {
+        if self.root == EMPTY {
+            self.blocked = None;
+            return;
+        }
+        let nodes = &self.nodes;
+        self.blocked = Some(BlockedTree::build(
+            nodes.len(),
+            self.root,
+            |v| (nodes[v].left, nodes[v].right),
+            |v| StabHot {
+                key: nodes[v].key,
+                flags: u8::from(!nodes[v].by_left.is_side_empty())
+                    | (u8::from(!nodes[v].by_right.is_side_empty()) << 1),
+            },
+        ));
     }
 
     // ------------------------------------------------------------- updates
@@ -640,14 +978,19 @@ impl IntervalTree {
             }
             cur = next;
         };
-        let removed = self.nodes[found]
-            .by_left
-            .remove(&(f64_key(s.left), s.id))
-            .is_some();
+        // The blocked cache survives deletes: its emptiness flags are
+        // conservative (a flagged side scanning empty runs charges the same
+        // failed probe the flat walk charges).
+        let nd = &mut self.nodes[found];
+        let removed = remove_side(&mut nd.by_left, &self.left_arena, (f64_key(s.left), s.id));
         if !removed {
             return false;
         }
-        self.nodes[found].by_right.remove(&(f64_key(s.right), s.id));
+        remove_side(
+            &mut nd.by_right,
+            &self.right_arena,
+            (f64_key(s.right), s.id),
+        );
         record_writes(2);
         self.len -= 1;
         self.deletions += 1;
@@ -671,12 +1014,18 @@ impl IntervalTree {
             return;
         }
         record_read();
-        for s in self.nodes[v].by_left.values() {
-            out.push(*s);
+        // Main run then overflow run; rebuilds re-sort the endpoints, so the
+        // collection order does not influence the rebuilt layout.
+        let node = &self.nodes[v];
+        for &(_, s) in self.side_main(&node.by_left, &self.left_arena) {
+            out.push(s);
         }
-        record_reads(self.nodes[v].by_left.len() as u64);
-        self.collect_subtree(self.nodes[v].left, out);
-        self.collect_subtree(self.nodes[v].right, out);
+        for &(_, s) in &node.by_left.extra {
+            out.push(s);
+        }
+        record_reads(node.by_left.len() as u64);
+        self.collect_subtree(node.left, out);
+        self.collect_subtree(node.right, out);
     }
 
     /// All live intervals (used by rebuilds and by tests as an oracle input).
@@ -691,12 +1040,27 @@ impl IntervalTree {
         let mut intervals = Vec::new();
         self.collect_subtree(v, &mut intervals);
         let rebuilt = IntervalTree::build_parallel(&intervals, self.alpha);
-        // Splice the rebuilt arena into ours.
+        // Splice the rebuilt arenas into ours: nodes get remapped child
+        // indices, arena-backed runs get their offsets shifted past our
+        // existing arena tails.  The subtree's shape changes, so the blocked
+        // cache is dropped (the triggering insert already dropped it; keep
+        // this self-contained).
+        self.blocked = None;
+        let loff = self.left_arena.len();
+        let roff = self.right_arena.len();
+        self.left_arena.extend_from_slice(&rebuilt.left_arena);
+        self.right_arena.extend_from_slice(&rebuilt.right_arena);
         let offset = self.nodes.len();
         let remap = |idx: usize| if idx == EMPTY { EMPTY } else { idx + offset };
         for mut node in rebuilt.nodes {
             node.left = remap(node.left);
             node.right = remap(node.right);
+            if node.by_left.base_len > 0 {
+                node.by_left.base_off += loff;
+            }
+            if node.by_right.base_len > 0 {
+                node.by_right.base_off += roff;
+            }
             self.nodes.push(node);
         }
         let new_root = remap(rebuilt.root);
@@ -801,15 +1165,21 @@ fn runs_of(located: &[(u64, u32)]) -> Vec<(usize, usize, usize)> {
     runs
 }
 
-/// Attach each run's intervals to its node, forking over disjoint arena
-/// regions (runs are sorted by node index, so a split of the run list maps
-/// to a `split_at_mut` of the arena).
+/// Attach each run's intervals to its node, forking over disjoint node and
+/// run-arena regions (runs are sorted by node index and arena slot ==
+/// located slot, so a split of the run list maps to a `split_at_mut` of the
+/// node arena *and* of both run arenas).  `seg_off` is the global located
+/// index where this invocation's arena slices begin.
+#[allow(clippy::too_many_arguments)]
 fn attach_rec(
     region: &mut [Node],
     offset: usize,
     runs: &[(usize, usize, usize)],
     located: &[(u64, u32)],
     intervals: &[Interval],
+    larena: &mut [StabEntry],
+    rarena: &mut [StabEntry],
+    seg_off: usize,
     ledger: &pwe_asym::smallmem::SmallMem,
     level: u64,
 ) {
@@ -819,11 +1189,25 @@ fn attach_rec(
     if runs.len() <= 8 || region.len() <= crate::engine::SEQUENTIAL_BUILD_CUTOFF {
         for &(node, start, end) in runs {
             let nd = &mut region[node - offset];
-            for &(_, idx) in &located[start..end] {
-                let s = &intervals[idx as usize];
-                nd.by_left.insert((f64_key(s.left), s.id), *s);
-                nd.by_right.insert((f64_key(s.right), s.id), *s);
+            let lseg = &mut larena[start - seg_off..end - seg_off];
+            let rseg = &mut rarena[start - seg_off..end - seg_off];
+            for (slot, &(_, idx)) in located[start..end].iter().enumerate() {
+                let s = intervals[idx as usize];
+                lseg[slot] = ((f64_key(s.left), s.id), s);
+                rseg[slot] = ((f64_key(s.right), s.id), s);
             }
+            lseg.sort_unstable_by_key(|e| e.0);
+            rseg.sort_unstable_by_key(|e| e.0);
+            nd.by_left = StabSide {
+                base_off: start,
+                base_len: end - start,
+                ..Default::default()
+            };
+            nd.by_right = StabSide {
+                base_off: start,
+                base_len: end - start,
+                ..Default::default()
+            };
             record_writes(2 * (end - start) as u64);
         }
         ledger.observe_task(level + 3);
@@ -832,32 +1216,46 @@ fn attach_rec(
     let m = region.len();
     let half = runs.len() / 2;
     let boundary = runs[half].0;
+    let cut = runs[half].1; // first located slot of the right half's runs
     let (lruns, rruns) = runs.split_at(half);
     let (lregion, rregion) = region.split_at_mut(boundary - offset);
+    let (l_larena, r_larena) = larena.split_at_mut(cut - seg_off);
+    let (l_rarena, r_rarena) = rarena.split_at_mut(cut - seg_off);
     // racecheck: the early return above guarantees m is over the cutoff, so
-    // this always forks — claim each arm's region unconditionally.
+    // this always forks — claim each arm's node and arena regions
+    // unconditionally.
     crate::engine::join_grain(
         m,
         || {
             let _claim = racecheck::claim_slice(&*lregion, "interval::attach_rec/left");
+            let _claim_l = racecheck::claim_slice(&*l_larena, "interval::attach_rec/left-larena");
+            let _claim_r = racecheck::claim_slice(&*l_rarena, "interval::attach_rec/left-rarena");
             attach_rec(
                 lregion,
                 offset,
                 lruns,
                 located,
                 intervals,
+                l_larena,
+                l_rarena,
+                seg_off,
                 ledger,
                 level + 1,
             )
         },
         || {
             let _claim = racecheck::claim_slice(&*rregion, "interval::attach_rec/right");
+            let _claim_l = racecheck::claim_slice(&*r_larena, "interval::attach_rec/right-larena");
+            let _claim_r = racecheck::claim_slice(&*r_rarena, "interval::attach_rec/right-rarena");
             attach_rec(
                 rregion,
                 boundary,
                 rruns,
                 located,
                 intervals,
+                r_larena,
+                r_rarena,
+                cut,
                 ledger,
                 level + 1,
             )

@@ -34,7 +34,12 @@ use pwe_asym::smallmem::SmallMem;
 use pwe_geom::bbox::Rect;
 use pwe_geom::point::Point2;
 use pwe_primitives::hash::DetHashSet;
+use pwe_primitives::layout::{BlockedTree, NO_NODE};
 use pwe_primitives::racecheck;
+use pwe_primitives::search::{
+    baseline_run_partition_point, branchless_partition_point, branchless_search_by_key,
+    run_partition_point,
+};
 
 use crate::alpha::{is_critical_weight, is_critical_weight_uncharged};
 use crate::engine::{
@@ -150,6 +155,51 @@ pub struct RangeTree2D {
     deleted: DetHashSet<u64>,
     /// Number of reconstructions triggered by updates (diagnostic).
     pub rebuilds: u64,
+    /// Cache-conscious descent cache over the outer tree, rebuilt at
+    /// build-finalize and dropped on structural mutation (queries then fall
+    /// back to the flat arena).  Purely derived: never digested, and the
+    /// blocked descent charges the exact reads of the flat one
+    /// ([`Self::query_flat`] keeps the flat path callable for comparison).
+    blocked: Option<BlockedTree<RtHot>>,
+}
+
+/// The hot per-node words of the blocked descent: the split key, the
+/// node's kind, and — for arena-backed critical nodes — the main run's
+/// coordinates in the augmentation arena, so the report walk reaches every
+/// run straight from blocked storage and only touches the cold node arena
+/// at leaves (and at the rare non-arena-backed critical node).
+#[derive(Debug, Clone, Copy)]
+struct RtHot {
+    split: f64,
+    /// Main-run offset in [`RangeTree2D::aug`] (valid iff `kind` is
+    /// [`RtKind::Critical`]).
+    base_off: u32,
+    /// Main-run length (valid iff `kind` is [`RtKind::Critical`]).
+    base_len: u32,
+    kind: RtKind,
+    /// Whether the node stores a leaf point.  Separate from `kind` because
+    /// the two flat walks disagree on precedence: the *descent*
+    /// (`query_rec`) resolves a leaf-with-inner node as a leaf, while the
+    /// *report* walk (`report_y_range`) answers it from the inner run —
+    /// the blocked mirrors must reproduce both to stay charge-identical.
+    is_leaf: bool,
+}
+
+/// What a blocked node resolves to when *reported* (mirrors the
+/// `inner`-first precedence of [`RangeTree2D::report_y_range`]; valid as
+/// long as the cache is — the fields change only under mutations that drop
+/// it).  `Critical` is baked only when the node is arena-backed with an
+/// **empty overflow run** (the build-finalize state; any insert drops the
+/// cache), so skipping the overflow probe is charge-identical —
+/// `report_run` charges nothing on an empty run.  Any other inner state
+/// falls back to `CriticalCold`, which reads the node like the flat path
+/// does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtKind {
+    Secondary,
+    Leaf,
+    Critical,
+    CriticalCold,
 }
 
 impl RangeTree2D {
@@ -177,6 +227,7 @@ impl RangeTree2D {
             aug: Vec::new(),
             deleted: DetHashSet::default(),
             rebuilds: 0,
+            blocked: None,
         };
         if points.is_empty() {
             return (tree, AugBuildStats::default());
@@ -204,6 +255,7 @@ impl RangeTree2D {
         tree.nodes = nodes;
         tree.aug = aug;
         tree.root = 0;
+        tree.rebuild_blocked();
         depth::add(2 * depth::log2_ceil(n.max(2)));
         let stats = AugBuildStats {
             nodes: 2 * n - 1,
@@ -231,6 +283,7 @@ impl RangeTree2D {
             aug: Vec::new(),
             deleted: DetHashSet::default(),
             rebuilds: 0,
+            blocked: None,
         };
         if points.is_empty() {
             return tree;
@@ -240,6 +293,7 @@ impl RangeTree2D {
         record_reads(points.len() as u64 * depth::log2_ceil(points.len().max(2)));
         record_writes(points.len() as u64);
         tree.root = tree.build_classic_rec(&sorted);
+        tree.rebuild_blocked();
         depth::add(depth::log2_ceil(points.len()));
         tree
     }
@@ -360,20 +414,66 @@ impl RangeTree2D {
         d.finish()
     }
 
+    /// Rebuild the blocked descent cache from the current (reachable) outer
+    /// tree.  A pure function of the tree shape, so the cache is as
+    /// deterministic as the arena it mirrors; uncharged physical layout
+    /// (MODEL.md "Cache cost vs. ARAM cost").
+    fn rebuild_blocked(&mut self) {
+        if self.root == EMPTY {
+            self.blocked = None;
+            return;
+        }
+        let nodes = &self.nodes;
+        let bt = BlockedTree::build(
+            nodes.len(),
+            self.root,
+            |v| (nodes[v].left, nodes[v].right),
+            |v| {
+                let node = &nodes[v];
+                let (kind, base_off, base_len) = if let Some(inner) = &node.inner {
+                    if inner.extra.is_empty()
+                        && inner.base_len > 0
+                        && inner.base_off <= u32::MAX as usize
+                        && inner.base_len <= u32::MAX as usize
+                    {
+                        (
+                            RtKind::Critical,
+                            inner.base_off as u32,
+                            inner.base_len as u32,
+                        )
+                    } else {
+                        (RtKind::CriticalCold, 0, 0)
+                    }
+                } else if node.leaf.is_some() {
+                    (RtKind::Leaf, 0, 0)
+                } else {
+                    (RtKind::Secondary, 0, 0)
+                };
+                RtHot {
+                    split: node.split,
+                    base_off,
+                    base_len,
+                    kind,
+                    is_leaf: node.leaf.is_some(),
+                }
+            },
+        );
+        self.blocked = Some(bt);
+    }
+
     /// Orthogonal range query: ids of live points inside `rect`, ascending.
+    /// Descends the blocked cache when present (identical answers, reads,
+    /// writes and scratch as the flat descent — pinned by
+    /// `tests/layout_equiv.rs`).
     pub fn query(&self, rect: &Rect) -> Vec<u64> {
         self.query_scratch(rect, &mut pwe_asym::smallmem::TaskScratch::untracked())
     }
 
-    /// [`RangeTree2D::query`], charging the recursion frames — one word
-    /// each, peak `O(height)` plus the `O(α)` critical-descendant descent
-    /// (Corollary 7.1) — against a small-memory ledger via `scratch`.
-    /// The reported ids are output writes, not scratch.
-    pub fn query_scratch(
-        &self,
-        rect: &Rect,
-        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
-    ) -> Vec<u64> {
+    /// [`RangeTree2D::query`] forced onto the flat arena descent (the
+    /// pre-blocked query path, kept callable as the wall-clock baseline of
+    /// `speedup`'s `query_compare` rows and the equivalence tests).
+    pub fn query_flat(&self, rect: &Rect) -> Vec<u64> {
+        let scratch = &mut pwe_asym::smallmem::TaskScratch::untracked();
         let mut out = Vec::new();
         if self.root != EMPTY {
             self.query_rec(
@@ -388,6 +488,132 @@ impl RangeTree2D {
         record_writes(out.len() as u64);
         out.sort_unstable();
         out
+    }
+
+    /// [`RangeTree2D::query`], charging the recursion frames — one word
+    /// each, peak `O(height)` plus the `O(α)` critical-descendant descent
+    /// (Corollary 7.1) — against a small-memory ledger via `scratch`.
+    /// The reported ids are output writes, not scratch.
+    pub fn query_scratch(
+        &self,
+        rect: &Rect,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Some(bt) = &self.blocked {
+            self.query_blocked_rec(
+                bt,
+                bt.root(),
+                rect,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                &mut out,
+                scratch,
+            );
+        } else if self.root != EMPTY {
+            self.query_rec(
+                self.root,
+                rect,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                &mut out,
+                scratch,
+            );
+        }
+        record_writes(out.len() as u64);
+        out.sort_unstable();
+        out
+    }
+
+    /// The blocked mirror of [`Self::query_rec`]: same logical visits, same
+    /// per-node read charge and scratch accounting — only the machine
+    /// addresses differ (hot split keys walk blocked-local children; leaf
+    /// points and inner runs are reached through `orig`).
+    #[allow(clippy::too_many_arguments)]
+    fn query_blocked_rec(
+        &self,
+        bt: &BlockedTree<RtHot>,
+        p: u32,
+        rect: &Rect,
+        lo: f64,
+        hi: f64,
+        out: &mut Vec<u64>,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) {
+        if p == NO_NODE || lo > rect.x_max || hi < rect.x_min {
+            return;
+        }
+        scratch.alloc(1);
+        record_read();
+        let bn = bt.node(p);
+        let hot = bn.payload;
+        if hot.is_leaf {
+            if let Some(q) = self.nodes[bn.orig as usize].leaf {
+                if rect.contains(&q.point) && !self.deleted.contains(&q.id) {
+                    out.push(q.id);
+                }
+            }
+        } else if rect.x_min <= lo && hi <= rect.x_max {
+            self.report_y_blocked(bt, p, rect, out, scratch);
+        } else {
+            let split = hot.split;
+            self.query_blocked_rec(bt, bn.left, rect, lo, split, out, scratch);
+            self.query_blocked_rec(bt, bn.right, rect, split, hi, out, scratch);
+        }
+        scratch.free(1);
+    }
+
+    /// The blocked mirror of [`Self::report_y_range`] (same charges; the
+    /// report-phase entry read is the node's inner-structure header).
+    fn report_y_blocked(
+        &self,
+        bt: &BlockedTree<RtHot>,
+        p: u32,
+        rect: &Rect,
+        out: &mut Vec<u64>,
+        scratch: &mut pwe_asym::smallmem::TaskScratch<'_>,
+    ) {
+        if p == NO_NODE {
+            return;
+        }
+        scratch.alloc(1);
+        record_read();
+        let bn = bt.node(p);
+        match bn.payload.kind {
+            RtKind::Critical => {
+                // Arena-backed with empty overflow (baked at rebuild): the
+                // run is reachable from the hot payload alone, and skipping
+                // the empty overflow probe charges nothing extra — exactly
+                // like the flat path's `report_run` on an empty run.
+                let hot = bn.payload;
+                let main =
+                    &self.aug[hot.base_off as usize..hot.base_off as usize + hot.base_len as usize];
+                self.report_run(main, rect, out, true);
+            }
+            RtKind::CriticalCold => {
+                let node = &self.nodes[bn.orig as usize];
+                let inner = node.inner.as_ref().expect("critical kind implies inner");
+                let main: &[RtPoint] = if inner.base_len > 0 {
+                    &self.aug[inner.base_off..inner.base_off + inner.base_len]
+                } else {
+                    &inner.owned
+                };
+                self.report_run(main, rect, out, true);
+                self.report_run(&inner.extra, rect, out, true);
+            }
+            RtKind::Leaf => {
+                if let Some(q) = self.nodes[bn.orig as usize].leaf {
+                    if rect.contains(&q.point) && !self.deleted.contains(&q.id) {
+                        out.push(q.id);
+                    }
+                }
+            }
+            RtKind::Secondary => {
+                self.report_y_blocked(bt, bn.left, rect, out, scratch);
+                self.report_y_blocked(bt, bn.right, rect, out, scratch);
+            }
+        }
+        scratch.free(1);
     }
 
     fn query_rec(
@@ -424,13 +650,24 @@ impl RangeTree2D {
     /// Report the points of one y-sorted run whose y lies in the query's
     /// y-range: a binary search for the first candidate (`O(log m)` probe
     /// reads over contiguous memory), then an output-sensitive scan.
-    fn report_run(&self, run: &[RtPoint], rect: &Rect, out: &mut Vec<u64>) {
+    ///
+    /// `branchless` selects the machine code of the lower-bound probe loop
+    /// only — the blocked descent uses the prefetching conditional-move
+    /// search, the flat baseline keeps the pre-blocked branchy
+    /// `partition_point` — the probes, result and read charge are
+    /// identical either way, so `query` and `query_flat` stay a pure
+    /// wall-clock A/B.
+    fn report_run(&self, run: &[RtPoint], rect: &Rect, out: &mut Vec<u64>, branchless: bool) {
         if run.is_empty() {
             return;
         }
         let lo_key = (f64_key(rect.y_min), 0u64);
-        let start = run.partition_point(|p| ykey(p) < lo_key);
-        record_reads(depth::log2_ceil(run.len().max(2)));
+        let pred = |p: &RtPoint| ykey(p) < lo_key;
+        let start = if branchless {
+            run_partition_point(run, pred)
+        } else {
+            baseline_run_partition_point(run, pred)
+        };
         for p in &run[start..] {
             record_read();
             if f64_key(p.point.y()) > f64_key(rect.y_max) {
@@ -467,8 +704,8 @@ impl RangeTree2D {
             } else {
                 &inner.owned
             };
-            self.report_run(main, rect, out);
-            self.report_run(&inner.extra, rect, out);
+            self.report_run(main, rect, out, false);
+            self.report_run(&inner.extra, rect, out, false);
         } else if let Some(p) = node.leaf {
             if rect.contains(&p.point) && !self.deleted.contains(&p.id) {
                 out.push(p.id);
@@ -492,6 +729,10 @@ impl RangeTree2D {
             self.live = 1;
             return stats;
         }
+        // A leaf split (and a possible subtree rebuild below) changes the
+        // outer-tree shape: drop the blocked descent cache; queries fall
+        // back to the flat arena until the next build-finalize.
+        self.blocked = None;
         // Descend to a leaf.
         let mut path = Vec::new();
         let mut v = self.root;
@@ -551,7 +792,7 @@ impl RangeTree2D {
             if self.nodes[u].critical {
                 self.nodes[u].weight += 1;
                 if let Some(inner) = self.nodes[u].inner.as_mut() {
-                    let pos = inner.extra.partition_point(|q| ykey(q) < ykey(&p));
+                    let pos = branchless_partition_point(&inner.extra, |q| ykey(q) < ykey(&p));
                     inner.extra.insert(pos, p);
                     let main_len = if inner.base_len > 0 {
                         inner.base_len
@@ -742,8 +983,7 @@ impl AugSizes {
     }
 
     fn lookup(table: &[(usize, usize)], k: usize) -> usize {
-        let i = table
-            .binary_search_by_key(&k, |e| e.0)
+        let i = branchless_search_by_key(table, k, |e| e.0)
             .expect("every subtree size of the balanced split is tabulated");
         table[i].1
     }

@@ -22,10 +22,27 @@
 //!   `priority`, `range` (classic per-level-copy constructions vs the
 //!   parallel allocation-lean engine; `BENCH_augtree.json` holds committed
 //!   trajectory points of this schema).
+//! * **`--queries`** — the flat-vs-blocked query A/B: one `query_compare`
+//!   line per query workload (`interval_stab`, `range2d`, `range3sided`,
+//!   `kdnn`, `delaunay_locate`), timing the same query stream against the
+//!   flat arena descent and the vEB-blocked descent of the same structure
+//!   (for `delaunay_locate`, the one-at-a-time exact predicates against the
+//!   width-filtered batch kernels).  The stream is processed in batches of
+//!   `--qbatch` queries (default 256).  Both sides must report identical
+//!   answers and identical read/write/depth counters — the blocked layout
+//!   is a machine-level rearrangement, invisible to the cost model — and
+//!   the line records both, so a committed `BENCH_queries.json` row is
+//!   self-validating.
 //! * **`--smoke`** — a tiny in-process sweep that validates the JSON
 //!   emitter and asserts the ω-crossover claim (at the largest swept ω the
-//!   write-efficient variant must cost less work); exits non-zero on
-//!   violation.  CI runs this so the emitter cannot silently rot.
+//!   write-efficient variant must cost less work), then runs every query
+//!   workload at a small n and asserts answer and counter equality of the
+//!   flat and blocked paths; exits non-zero on violation.  CI runs this so
+//!   the emitter cannot silently rot.
+//!
+//! Every JSON row carries `threads_available` (detected parallelism) and
+//! `rayon_threads` (actual pool width), so committed trajectories from a
+//! 1-CPU build container are distinguishable from real multicore CI rows.
 //!
 //! Usage:
 //!   cargo run --release -p pwe-bench --bin speedup                 # all workloads
@@ -33,6 +50,7 @@
 //!   cargo run --release -p pwe-bench --bin speedup -- --threads 1,2,8
 //!   cargo run --release -p pwe-bench --bin speedup -- --sweep --ns 10000,50000
 //!   cargo run --release -p pwe-bench --bin speedup -- --sweep --workload sort --omegas 1,10,40
+//!   cargo run --release -p pwe-bench --bin speedup -- --queries --workload range2d --n 200000
 //!   cargo run --release -p pwe-bench --bin speedup -- --smoke
 //!
 //! Speedup workloads: the theorem experiments (`sort`, `mergesort`,
@@ -47,7 +65,12 @@ use pwe_augtree::interval::IntervalTree;
 use pwe_augtree::priority::{PrioritySearchTree, PsPoint};
 use pwe_augtree::range_tree::{RangeTree2D, RtPoint};
 use pwe_delaunay::{triangulate_baseline, triangulate_write_efficient};
-use pwe_geom::generators::{random_intervals, uniform_grid_points, uniform_points_2d};
+use pwe_geom::generators::{
+    random_intervals, random_three_sided_queries, stabbing_queries, uniform_grid_points,
+    uniform_points_2d,
+};
+use pwe_geom::predicates::is_ccw;
+use pwe_geom::{in_circle, in_circle_batch, GridPoint, Rect};
 use pwe_kdtree::build::{build_p_batched, recommended_p};
 use pwe_primitives::scan::par_exclusive_scan;
 use pwe_primitives::semisort::semisort_by_key;
@@ -75,6 +98,19 @@ const WORKLOADS: &[&str] = &[
 /// structure; the engine builds at α = 8).
 const SWEEP_WORKLOADS: &[&str] = &["delaunay", "sort", "interval", "priority", "range"];
 
+/// Query workloads: each times one query stream twice over the same built
+/// structure — once through the flat arena descent, once through the
+/// vEB-blocked descent (`delaunay_locate` compares one-at-a-time exact
+/// predicates against the width-filtered batch kernels).  Answers and
+/// read/write/depth counters must match exactly; only wall-clock may move.
+const QUERY_WORKLOADS: &[&str] = &[
+    "interval_stab",
+    "range2d",
+    "range3sided",
+    "kdnn",
+    "delaunay_locate",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(workload) = arg_str(&args, "--child") {
@@ -90,6 +126,12 @@ fn main() {
         }
         return;
     }
+    if let Some(workload) = arg_str(&args, "--child-queries") {
+        let n = arg_usize(&args, "--n");
+        let qbatch = arg_usize(&args, "--qbatch").unwrap_or(DEFAULT_QBATCH);
+        println!("{}", run_query_child(&workload, n, qbatch));
+        return;
+    }
     if args.iter().any(|a| a == "--smoke") {
         run_smoke();
         return;
@@ -98,7 +140,26 @@ fn main() {
         run_sweep_parent(&args);
         return;
     }
+    if args.iter().any(|a| a == "--queries") {
+        run_queries_parent(&args);
+        return;
+    }
     run_parent(&args);
+}
+
+/// Default query-stream batch size for `--queries`.
+const DEFAULT_QBATCH: usize = 256;
+
+/// The `"threads_available":…,"rayon_threads":…` fragment every JSON row
+/// carries (container-vs-CI provenance of committed trajectories).
+fn thread_fields() -> String {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "\"threads_available\":{available},\"rayon_threads\":{}",
+        rayon::current_num_threads()
+    )
 }
 
 /// One measured run inside a child process whose pool size is already fixed
@@ -107,8 +168,9 @@ fn run_child(workload: &str, n_override: Option<usize>) -> String {
     let threads = rayon::current_num_threads();
     let (n, report) = run_workload(workload, n_override);
     format!(
-        "{{\"workload\":\"{workload}\",\"n\":{n},\"threads\":{threads},\
+        "{{\"workload\":\"{workload}\",\"n\":{n},\"threads\":{threads},{},\
          \"millis\":{:.3},\"reads\":{},\"writes\":{},\"depth\":{}}}",
+        thread_fields(),
         report.elapsed.as_secs_f64() * 1e3,
         report.reads,
         report.writes,
@@ -335,12 +397,13 @@ fn run_sweep_child(workload: &str, n: usize, omegas: &[usize]) -> Vec<String> {
             let we_work = we.reads + w * we.writes;
             format!(
                 "{{\"mode\":\"sweep\",\"workload\":\"{workload}\",\"n\":{n},\
-                 \"omega\":{omega},\"threads\":{threads},\
+                 \"omega\":{omega},\"threads\":{threads},{},\
                  \"base_reads\":{},\"base_writes\":{},\"base_work\":{base_work},\
                  \"base_millis\":{:.3},\
                  \"we_reads\":{},\"we_writes\":{},\"we_work\":{we_work},\
                  \"we_millis\":{:.3},\
                  \"write_gap\":{:.4},\"we_wins\":{}}}",
+                thread_fields(),
                 base.reads,
                 base.writes,
                 base.elapsed.as_secs_f64() * 1e3,
@@ -352,6 +415,392 @@ fn run_sweep_child(workload: &str, n: usize, omegas: &[usize]) -> Vec<String> {
             )
         })
         .collect()
+}
+
+/// The two timed sides of one flat-vs-blocked query comparison, plus the
+/// answer-checksum verdict.  Counters live inside the [`CostReport`]s; the
+/// caller asserts/reports their equality.
+struct QueryCompare {
+    n: usize,
+    queries: usize,
+    flat: CostReport,
+    blocked: CostReport,
+    answers_equal: bool,
+}
+
+/// Run a measured stream `reps` times, keep the fastest run (the standard
+/// wall-clock-noise filter; the counters and the checksum are deterministic,
+/// so every repetition reports the same ones).
+fn best_of<T>(reps: usize, f: impl Fn() -> (T, CostReport)) -> (T, CostReport) {
+    let mut best = f();
+    for _ in 1..reps {
+        let run = f();
+        if run.1.elapsed < best.1.elapsed {
+            best = run;
+        }
+    }
+    best
+}
+
+/// Repetitions per timed side of a `query_compare` row.
+const QUERY_REPS: usize = 5;
+
+/// Order-sensitive fold of one query's answer ids into a running checksum
+/// (both layouts return identically ordered answers, so a mismatch anywhere
+/// in the stream perturbs the final word).
+fn fold_ids(acc: u64, ids: &[u64]) -> u64 {
+    let mut h = acc
+        .wrapping_mul(0x100_0000_01b3)
+        .wrapping_add(ids.len() as u64);
+    for &id in ids {
+        h = h.wrapping_mul(31).wrapping_add(id);
+    }
+    h
+}
+
+/// Build one structure, run the same query stream through the flat and the
+/// blocked descent (in `qbatch`-sized batches), and return both timings.
+/// Query counts scale with n so `--smoke` stays cheap.
+fn run_query_compare(workload: &str, n_override: Option<usize>, qbatch: usize) -> QueryCompare {
+    let omega = Omega::new(1);
+    let qbatch = qbatch.max(1);
+    match workload {
+        "interval_stab" => {
+            let n = n_override.unwrap_or(200_000);
+            let intervals = random_intervals(n, 1e6, 200.0, 17);
+            let tree = IntervalTree::build_parallel(&intervals, 2);
+            let qs = stabbing_queries((n / 10).clamp(200, 20_000), 1e6, 71);
+            for &x in qs.iter().take(128) {
+                tree.stab_flat(x);
+                tree.stab(x);
+            }
+            let (sf, flat) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for &x in chunk {
+                            acc = fold_ids(acc, &tree.stab_flat(x));
+                        }
+                    }
+                    acc
+                })
+            });
+            let (sb, blocked) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for &x in chunk {
+                            acc = fold_ids(acc, &tree.stab(x));
+                        }
+                    }
+                    acc
+                })
+            });
+            QueryCompare {
+                n,
+                queries: qs.len(),
+                flat,
+                blocked,
+                answers_equal: sf == sb,
+            }
+        }
+        "range2d" => {
+            let n = n_override.unwrap_or(200_000);
+            let points: Vec<RtPoint> = uniform_points_2d(n, 31)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| RtPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            let tree = RangeTree2D::build(&points, 8);
+            // Wide-x, thin-y rectangles: many fully-contained critical
+            // nodes, so the stream spends its time in the outer descent and
+            // the inner run searches — the retrofitted paths — while the
+            // answer sets (and the reporting work, identical on both sides)
+            // stay small.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+            let qs: Vec<Rect> = (0..(n / 50).clamp(100, 4_000))
+                .map(|_| {
+                    let w = rng.gen_range(0.05..0.25);
+                    let h = rng.gen_range(0.0001..0.001);
+                    let x = rng.gen_range(0.0..(1.0 - w));
+                    let y = rng.gen_range(0.0..(1.0 - h));
+                    Rect::new(x, x + w, y, y + h)
+                })
+                .collect();
+            for rect in qs.iter().take(64) {
+                tree.query_flat(rect);
+                tree.query(rect);
+            }
+            let (sf, flat) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for rect in chunk {
+                            acc = fold_ids(acc, &tree.query_flat(rect));
+                        }
+                    }
+                    acc
+                })
+            });
+            let (sb, blocked) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for rect in chunk {
+                            acc = fold_ids(acc, &tree.query(rect));
+                        }
+                    }
+                    acc
+                })
+            });
+            QueryCompare {
+                n,
+                queries: qs.len(),
+                flat,
+                blocked,
+                answers_equal: sf == sb,
+            }
+        }
+        "range3sided" => {
+            let n = n_override.unwrap_or(200_000);
+            let points: Vec<PsPoint> = uniform_points_2d(n, 23)
+                .into_iter()
+                .enumerate()
+                .map(|(i, point)| PsPoint {
+                    point,
+                    id: i as u64,
+                })
+                .collect();
+            let tree = PrioritySearchTree::build_parallel(&points);
+            let qs = random_three_sided_queries((n / 50).clamp(100, 4_000), 0.01, 79);
+            for &(lo, hi, y) in qs.iter().take(64) {
+                tree.query_3sided_flat(lo, hi, y);
+                tree.query_3sided_blocked(lo, hi, y);
+            }
+            let (sf, flat) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for &(lo, hi, y) in chunk {
+                            acc = fold_ids(acc, &tree.query_3sided_flat(lo, hi, y));
+                        }
+                    }
+                    acc
+                })
+            });
+            let (sb, blocked) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for &(lo, hi, y) in chunk {
+                            acc = fold_ids(acc, &tree.query_3sided_blocked(lo, hi, y));
+                        }
+                    }
+                    acc
+                })
+            });
+            QueryCompare {
+                n,
+                queries: qs.len(),
+                flat,
+                blocked,
+                answers_equal: sf == sb,
+            }
+        }
+        "kdnn" => {
+            let n = n_override.unwrap_or(200_000);
+            let points = uniform_points_2d(n, 11);
+            let (tree, _) = build_p_batched(&points, recommended_p(n), 16, 13);
+            let qs = uniform_points_2d((n / 10).clamp(200, 20_000), 99);
+            for q in qs.iter().take(128) {
+                tree.nearest_flat(q);
+                tree.nearest_blocked(q);
+            }
+            let (sf, flat) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for q in chunk {
+                            let hit = tree.nearest_flat(q).map(u64::from).unwrap_or(u64::MAX);
+                            acc = fold_ids(acc, &[hit]);
+                        }
+                    }
+                    acc
+                })
+            });
+            let (sb, blocked) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for chunk in qs.chunks(qbatch) {
+                        for q in chunk {
+                            let hit = tree.nearest_blocked(q).map(u64::from).unwrap_or(u64::MAX);
+                            acc = fold_ids(acc, &[hit]);
+                        }
+                    }
+                    acc
+                })
+            });
+            QueryCompare {
+                n,
+                queries: qs.len(),
+                flat,
+                blocked,
+                answers_equal: sf == sb,
+            }
+        }
+        "delaunay_locate" => {
+            // The point-location predicate stream: many in-circle tests of
+            // query points against fixed CCW triangles — the inner loop of
+            // the Delaunay engine's cavity assessment.  "Flat" is the
+            // one-at-a-time exact i128 predicate; "blocked" stages the
+            // queries as SoA slices for the width-filtered batch kernel.
+            // Both sides are uncharged (the engine accounts per test), so
+            // the counter deltas are zero on both — equal by construction.
+            let n = n_override.unwrap_or(200_000);
+            let span = 1i64 << 20;
+            let tri_pts = uniform_grid_points(144, span, 7);
+            let triangles: Vec<(GridPoint, GridPoint, GridPoint)> = tri_pts
+                .chunks_exact(3)
+                .filter_map(|t| {
+                    if is_ccw(t[0], t[1], t[2]) {
+                        Some((t[0], t[1], t[2]))
+                    } else if is_ccw(t[0], t[2], t[1]) {
+                        Some((t[0], t[2], t[1]))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let queries = uniform_grid_points(n / triangles.len().max(1), span, 73);
+            let total = triangles.len() * queries.len();
+            let (sf, flat) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    for &(a, b, c) in &triangles {
+                        for chunk in queries.chunks(qbatch) {
+                            for &d in chunk {
+                                acc = acc
+                                    .wrapping_mul(3)
+                                    .wrapping_add(u64::from(in_circle(a, b, c, d)));
+                            }
+                        }
+                    }
+                    acc
+                })
+            });
+            let (sb, blocked) = best_of(QUERY_REPS, || {
+                measure(omega, || {
+                    let mut acc = 0u64;
+                    let mut dx = vec![0i64; qbatch];
+                    let mut dy = vec![0i64; qbatch];
+                    let mut out = vec![false; qbatch];
+                    for &(a, b, c) in &triangles {
+                        for chunk in queries.chunks(qbatch) {
+                            let m = chunk.len();
+                            for (i, d) in chunk.iter().enumerate() {
+                                dx[i] = d.x;
+                                dy[i] = d.y;
+                            }
+                            in_circle_batch(a, b, c, &dx[..m], &dy[..m], &mut out[..m]);
+                            for &inside in &out[..m] {
+                                acc = acc.wrapping_mul(3).wrapping_add(u64::from(inside));
+                            }
+                        }
+                    }
+                    acc
+                })
+            });
+            QueryCompare {
+                n,
+                queries: total,
+                flat,
+                blocked,
+                answers_equal: sf == sb,
+            }
+        }
+        other => {
+            eprintln!("unknown query workload {other:?}; expected one of {QUERY_WORKLOADS:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One `query_compare` JSON line for a child whose pool size is fixed.
+fn run_query_child(workload: &str, n_override: Option<usize>, qbatch: usize) -> String {
+    let threads = rayon::current_num_threads();
+    let c = run_query_compare(workload, n_override, qbatch);
+    let flat_ms = c.flat.elapsed.as_secs_f64() * 1e3;
+    let blocked_ms = c.blocked.elapsed.as_secs_f64() * 1e3;
+    let counters_equal = c.flat.reads == c.blocked.reads
+        && c.flat.writes == c.blocked.writes
+        && c.flat.depth == c.blocked.depth;
+    format!(
+        "{{\"mode\":\"query_compare\",\"workload\":\"{workload}\",\"n\":{},\
+         \"queries\":{},\"qbatch\":{qbatch},\"threads\":{threads},{},\
+         \"flat_millis\":{flat_ms:.3},\"blocked_millis\":{blocked_ms:.3},\
+         \"gain\":{:.3},\
+         \"flat_reads\":{},\"blocked_reads\":{},\
+         \"flat_writes\":{},\"blocked_writes\":{},\
+         \"counters_equal\":{counters_equal},\"answers_equal\":{}}}",
+        c.n,
+        c.queries,
+        thread_fields(),
+        flat_ms / blocked_ms.max(1e-9),
+        c.flat.reads,
+        c.blocked.reads,
+        c.flat.writes,
+        c.blocked.writes,
+        c.answers_equal,
+    )
+}
+
+/// The flat-vs-blocked query A/B across workloads (one child per
+/// `(workload, threads)` so the pool width is honest).
+fn run_queries_parent(args: &[String]) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let n_override = arg_usize(args, "--n");
+    let qbatch = arg_usize(args, "--qbatch").unwrap_or(DEFAULT_QBATCH);
+    let workloads: Vec<String> = match arg_str(args, "--workload") {
+        Some(w) => vec![w],
+        None => QUERY_WORKLOADS.iter().map(|w| w.to_string()).collect(),
+    };
+    let threads: Vec<usize> = match arg_str(args, "--threads") {
+        Some(list) => parse_list(&list),
+        None => vec![std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)],
+    };
+
+    for workload in &workloads {
+        for &t in &threads {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--child-queries").arg(workload);
+            if let Some(n) = n_override {
+                cmd.arg("--n").arg(n.to_string());
+            }
+            cmd.arg("--qbatch").arg(qbatch.to_string());
+            cmd.env("RAYON_NUM_THREADS", t.to_string());
+            let out = cmd.output().expect("failed to spawn query child");
+            if !out.status.success() {
+                eprintln!(
+                    "query child ({workload}, {t} threads) failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                std::process::exit(1);
+            }
+            let line = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            println!("{line}");
+            let flat_ms = json_f64(&line, "flat_millis").unwrap_or(0.0);
+            let blocked_ms = json_f64(&line, "blocked_millis").unwrap_or(0.0);
+            let gain = json_f64(&line, "gain").unwrap_or(0.0);
+            eprintln!(
+                "{workload:<15} threads={t:<3} flat {flat_ms:>9.2} ms   blocked {blocked_ms:>9.2} ms   gain {gain:>5.2}x"
+            );
+        }
+    }
 }
 
 /// The n × ω × threads crossover sweep (re-executing one child per
@@ -463,6 +912,30 @@ fn run_smoke() {
         );
     }
     eprintln!("sweep smoke ok");
+
+    // Query A/B: at a small n, the flat and blocked descents must agree on
+    // every answer and on every counter — the blocked layout is machine
+    // bookkeeping, invisible to the ARAM model.  (No wall-clock assertion
+    // here; gains are claimed only by committed full-size BENCH rows.)
+    for workload in QUERY_WORKLOADS {
+        let line = run_query_child(workload, Some(20_000), DEFAULT_QBATCH);
+        for key in ["n", "queries", "qbatch", "flat_millis", "blocked_millis"] {
+            assert!(
+                json_f64(&line, key).is_some(),
+                "smoke: key {key:?} missing or non-numeric in {line}"
+            );
+        }
+        assert!(
+            line.contains("\"counters_equal\":true"),
+            "smoke: {workload} blocked path moved the counters: {line}"
+        );
+        assert!(
+            line.contains("\"answers_equal\":true"),
+            "smoke: {workload} blocked path changed an answer: {line}"
+        );
+        println!("{line}");
+    }
+    eprintln!("query smoke ok");
 }
 
 /// Parse a comma-separated list of positive integers; a malformed token is

@@ -275,7 +275,12 @@ fn plan_round(
     // Every new triangle is oriented, parented and given its conflict list
     // (survivors of E(t) ∪ E(t_o) that encroach it — line 15 of Algorithm 2)
     // against the round-start state; each in-circle test is one read, each
-    // surviving entry one write, both schedule-independent.
+    // surviving entry one write, both schedule-independent.  The predicate
+    // storm goes through the batched width-filtered kernels of
+    // `pwe_geom::batch` — one SoA orientation pass per fan, one SoA
+    // in-circle pass per new triangle — which are bit-equal to the scalar
+    // predicates; the per-test read charge is recorded in bulk and totals
+    // exactly what the scalar loop recorded (MODEL.md §5).
     //
     // racecheck: the commit step hands winner `w` the triangle ids
     // `base + fan_offsets[w] .. base + fan_offsets[w] + |fan|`, so each fan
@@ -302,11 +307,36 @@ fn plan_round(
             let mut scratch = TaskScratch::new(ledger);
             scratch.alloc(4);
             let p = candidates[ci].0;
-            assessed[ci]
-                .1
+            let boundary = &assessed[ci].1;
+            // One SoA orientation pass for the whole fan (the apex is p for
+            // every edge); uncharged, exactly like the scalar orient_ccw.
+            let apex = mesh.points[p as usize];
+            let fan = boundary.len();
+            // alloc: large-mem — SoA staging of the fan's edge endpoints (uncharged layout staging, MODEL.md §5)
+            let mut soa: [Vec<i64>; 6] = std::array::from_fn(|_| Vec::with_capacity(fan));
+            for b in boundary {
+                soa[0].push(mesh.points[b.edge.0 as usize].x);
+                soa[1].push(mesh.points[b.edge.0 as usize].y);
+                soa[2].push(mesh.points[b.edge.1 as usize].x);
+                soa[3].push(mesh.points[b.edge.1 as usize].y);
+                soa[4].push(apex.x);
+                soa[5].push(apex.y);
+            }
+            // alloc: large-mem — orientation signs, one byte per fan edge (uncharged layout staging)
+            let mut signs = vec![0i8; boundary.len()];
+            pwe_geom::batch::orient2d_batch(
+                &soa[0], &soa[1], &soa[2], &soa[3], &soa[4], &soa[5], &mut signs,
+            );
+            boundary
                 .iter()
-                .map(|b| {
-                    let v = mesh.orient_ccw(b.edge.0, b.edge.1, p);
+                .zip(&signs)
+                .map(|(b, &sign)| {
+                    let v = if sign > 0 {
+                        [b.edge.0, b.edge.1, p]
+                    } else {
+                        [b.edge.1, b.edge.0, p]
+                    };
+                    debug_assert_eq!(v, mesh.orient_ccw(b.edge.0, b.edge.1, p));
                     // alloc: large-mem — staging for the two parent rows (survivors charged at commit; see note above)
                     let mut merged: Vec<u32> = Vec::new();
                     let row = row_of[b.inside as usize].load(Ordering::Relaxed);
@@ -320,13 +350,30 @@ fn plan_round(
                     }
                     merged.sort_unstable();
                     merged.dedup();
+                    // The cheap id filters run first (they charge nothing),
+                    // then one batched in-circle pass over the survivors,
+                    // charged one read per test — the same count the scalar
+                    // encroaches_tri loop recorded.
+                    merged.retain(|&q| q != p && winner_pts.binary_search(&q).is_err());
+                    // alloc: large-mem — SoA query coordinates for the batched in-circle filter (uncharged staging)
+                    let qx: Vec<i64> = merged.iter().map(|&q| mesh.points[q as usize].x).collect();
+                    // alloc: large-mem — SoA query coordinates for the batched in-circle filter (uncharged staging)
+                    let qy: Vec<i64> = merged.iter().map(|&q| mesh.points[q as usize].y).collect();
+                    // alloc: large-mem — per-test in-circle verdicts (uncharged staging)
+                    let mut hit = vec![false; merged.len()];
+                    pwe_geom::batch::in_circle_batch(
+                        mesh.points[v[0] as usize],
+                        mesh.points[v[1] as usize],
+                        mesh.points[v[2] as usize],
+                        &qx,
+                        &qy,
+                        &mut hit,
+                    );
+                    mesh.charge_triangle_reads(merged.len() as u64);
                     let conflicts: Vec<u32> = merged
-                        .into_iter()
-                        .filter(|&q| {
-                            q != p
-                                && winner_pts.binary_search(&q).is_err()
-                                && mesh.encroaches_tri(q, v)
-                        })
+                        .iter()
+                        .zip(&hit)
+                        .filter_map(|(&q, &h)| h.then_some(q))
                         // alloc: large-mem — the new triangle's conflict list (entry writes recorded at commit)
                         .collect();
                     PendingTri {

@@ -17,8 +17,9 @@
 //! locate their conflicts with reads only.
 
 use pwe_asym::counters::{record_read, record_reads, record_writes};
+use pwe_geom::batch::in_circle_filtered;
 use pwe_geom::point::GridPoint;
-use pwe_geom::predicates::{in_circle, is_ccw, orient2d_det};
+use pwe_geom::predicates::{is_ccw, orient2d_det};
 use pwe_primitives::hash::DetHashMap;
 use pwe_trace::dag::TraceDag;
 
@@ -168,11 +169,13 @@ impl TriMesh {
     pub fn encroaches(&self, p: u32, t: u32) -> bool {
         record_read();
         let tri = &self.triangles[t as usize];
-        in_circle(
+        let q = self.points[p as usize];
+        in_circle_filtered(
             self.points[tri.v[0] as usize],
             self.points[tri.v[1] as usize],
             self.points[tri.v[2] as usize],
-            self.points[p as usize],
+            q.x,
+            q.y,
         )
     }
 
@@ -257,11 +260,13 @@ impl TriMesh {
     #[inline]
     pub fn encroaches_tri(&self, p: u32, v: [u32; 3]) -> bool {
         record_read();
-        in_circle(
+        let q = self.points[p as usize];
+        in_circle_filtered(
             self.points[v[0] as usize],
             self.points[v[1] as usize],
             self.points[v[2] as usize],
-            self.points[p as usize],
+            q.x,
+            q.y,
         )
     }
 
@@ -368,13 +373,29 @@ impl TraceDag for TriMesh {
             .collect()
     }
 
+    fn successors_into(&self, v: usize, out: &mut Vec<usize>) {
+        out.extend(self.triangles[v].children.iter().map(|&c| c as usize));
+    }
+
+    fn predecessors_into(&self, v: usize, out: &mut Vec<usize>) {
+        out.extend(
+            self.triangles[v]
+                .parents
+                .iter()
+                .filter(|&&p| p != NO_TRI)
+                .map(|&p| p as usize),
+        );
+    }
+
     fn visible(&self, x: &u32, v: usize) -> bool {
         let tri = &self.triangles[v];
-        in_circle(
+        let q = self.points[*x as usize];
+        in_circle_filtered(
             self.points[tri.v[0] as usize],
             self.points[tri.v[1] as usize],
             self.points[tri.v[2] as usize],
-            self.points[*x as usize],
+            q.x,
+            q.y,
         )
     }
 

@@ -8,6 +8,10 @@
 //!   using `i128` arithmetic.  The paper assumes exact predicates and general
 //!   position (Section 5); grid-snapped integer coordinates give exactness
 //!   without a floating-point filter stack.
+//! * [`batch`] — batched SoA variants of the predicates with an exact
+//!   integer width filter: most tests settle in `i64`, only
+//!   large-magnitude differences fall back to the `i128` path.  Bit-equal
+//!   to the scalar predicates on every input.
 //! * [`bbox`] — axis-aligned boxes and rectangles for k-d tree regions and
 //!   range queries.
 //! * [`interval`] — closed intervals for the interval tree / stabbing queries.
@@ -15,12 +19,14 @@
 //!   on-circle point sets; random interval sets; query workloads) used by the
 //!   examples, the tests and the benchmark harness.
 
+pub mod batch;
 pub mod bbox;
 pub mod generators;
 pub mod interval;
 pub mod point;
 pub mod predicates;
 
+pub use batch::{in_circle_batch, in_circle_filtered, orient2d_batch};
 pub use bbox::{BBoxK, Rect};
 pub use interval::Interval;
 pub use point::{GridPoint, Point2, PointK};

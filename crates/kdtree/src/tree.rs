@@ -9,6 +9,7 @@
 use pwe_asym::counters::{record_read, record_reads, record_writes};
 use pwe_geom::bbox::BBoxK;
 use pwe_geom::point::PointK;
+use pwe_primitives::layout::{BlockedTree, NO_NODE};
 
 /// Sentinel index for "no child".
 pub const EMPTY: usize = usize::MAX;
@@ -63,6 +64,15 @@ pub struct QueryStats {
     pub reported: u64,
 }
 
+/// Hot descent fields of the blocked query cache: interior descents read
+/// only the split plane; leaf buckets stay in the cold arena, reached via
+/// the blocked node's `orig` back-pointer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KdHot {
+    split_dim: u32,
+    split_val: f64,
+}
+
 /// A k-d tree over `K`-dimensional points.
 #[derive(Debug, Clone)]
 pub struct KdTree<const K: usize> {
@@ -70,6 +80,13 @@ pub struct KdTree<const K: usize> {
     pub(crate) nodes: Vec<KdNode>,
     pub(crate) root: usize,
     pub(crate) leaf_capacity: usize,
+    /// Cache-conscious descent cache over the finished structure, built at
+    /// build-finalize and dropped by any structural mutation (the dynamic
+    /// wrappers in [`crate::dynamic`]).  Purely derived: never part of the
+    /// structure's identity, identical answers and charges on either path
+    /// ([`Self::range_query_flat`] / [`Self::nearest_flat`] keep the flat
+    /// path callable).
+    pub(crate) blocked: Option<BlockedTree<KdHot>>,
 }
 
 impl<const K: usize> KdTree<K> {
@@ -81,7 +98,28 @@ impl<const K: usize> KdTree<K> {
             nodes: Vec::new(),
             root: EMPTY,
             leaf_capacity: leaf_capacity.max(1),
+            blocked: None,
         }
+    }
+
+    /// (Re)build the blocked descent cache from the current arena (only the
+    /// reachable nodes are copied, so spliced-over slots are skipped).
+    /// Purely derived, uncharged physical-layout maintenance.
+    pub(crate) fn rebuild_blocked(&mut self) {
+        if self.root == EMPTY {
+            self.blocked = None;
+            return;
+        }
+        let nodes = &self.nodes;
+        self.blocked = Some(BlockedTree::build(
+            nodes.len(),
+            self.root,
+            |v| (nodes[v].left, nodes[v].right),
+            |v| KdHot {
+                split_dim: nodes[v].split_dim as u32,
+                split_val: nodes[v].split_val,
+            },
+        ));
     }
 
     /// The number of points the tree indexes.
@@ -125,17 +163,41 @@ impl<const K: usize> KdTree<K> {
         self.range_query_with_stats(query).0
     }
 
-    /// [`Self::range_query`] plus visit statistics.
+    /// [`Self::range_query`] plus visit statistics.  Descends the blocked
+    /// cache when one is live, the flat arena otherwise — same visit set,
+    /// same ARAM charges either way.
     pub fn range_query_with_stats(&self, query: &BBoxK<K>) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        match &self.blocked {
+            Some(b) if b.root() != NO_NODE => {
+                let region = BBoxK::everything();
+                self.range_blocked_rec(b, b.root(), &region, query, &mut out, &mut stats);
+            }
+            _ => {
+                if self.root != EMPTY {
+                    let region = BBoxK::everything();
+                    self.range_rec(self.root, &region, query, &mut out, &mut stats);
+                }
+            }
+        }
+        stats.reported = out.len() as u64;
+        record_writes(out.len() as u64);
+        (out, stats)
+    }
+
+    /// [`Self::range_query`] forced onto the flat (pre-blocked) descent —
+    /// the live "before" side of the query benchmarks.  Identical answers
+    /// and ARAM charges to the blocked path.
+    pub fn range_query_flat(&self, query: &BBoxK<K>) -> Vec<u32> {
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
         if self.root != EMPTY {
             let region = BBoxK::everything();
             self.range_rec(self.root, &region, query, &mut out, &mut stats);
         }
-        stats.reported = out.len() as u64;
         record_writes(out.len() as u64);
-        (out, stats)
+        out
     }
 
     fn range_rec(
@@ -191,6 +253,70 @@ impl<const K: usize> KdTree<K> {
         }
     }
 
+    /// [`Self::range_rec`] over the blocked cache: interior split planes are
+    /// read blocked-locally; leaf buckets come from the cold arena via
+    /// `orig`.  Same pruning, visit set and ARAM charges as the flat walk.
+    fn range_blocked_rec(
+        &self,
+        b: &BlockedTree<KdHot>,
+        v: u32,
+        region: &BBoxK<K>,
+        query: &BBoxK<K>,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        stats.nodes_visited += 1;
+        record_read();
+        let bn = b.node(v);
+        if bn.left == NO_NODE && bn.right == NO_NODE {
+            for &pi in &self.nodes[bn.orig as usize].bucket {
+                stats.points_tested += 1;
+                record_read();
+                if query.contains(&self.points[pi as usize]) {
+                    out.push(pi);
+                }
+            }
+            return;
+        }
+        if query.contains_box(region) {
+            self.collect_blocked(b, v, out, stats);
+            return;
+        }
+        let hot = bn.payload;
+        let (left_region, right_region) =
+            split_region(region, hot.split_dim as usize, hot.split_val);
+        if bn.left != NO_NODE && query.intersects(&left_region) {
+            self.range_blocked_rec(b, bn.left, &left_region, query, out, stats);
+        }
+        if bn.right != NO_NODE && query.intersects(&right_region) {
+            self.range_blocked_rec(b, bn.right, &right_region, query, out, stats);
+        }
+    }
+
+    fn collect_blocked(
+        &self,
+        b: &BlockedTree<KdHot>,
+        v: u32,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        stats.nodes_visited += 1;
+        record_read();
+        let bn = b.node(v);
+        if bn.left == NO_NODE && bn.right == NO_NODE {
+            let bucket = &self.nodes[bn.orig as usize].bucket;
+            out.extend_from_slice(bucket);
+            record_reads(bucket.len() as u64);
+            return;
+        }
+        if bn.left != NO_NODE {
+            self.collect_blocked(b, bn.left, out, stats);
+        }
+        if bn.right != NO_NODE {
+            self.collect_blocked(b, bn.right, out, stats);
+        }
+    }
+
     /// Exact nearest neighbour of `q` (index), or `None` for an empty tree.
     pub fn nearest(&self, q: &PointK<K>) -> Option<u32> {
         self.nearest_impl(q, 0.0).map(|(i, _)| i)
@@ -205,15 +331,47 @@ impl<const K: usize> KdTree<K> {
 
     /// Nearest-neighbour search returning the index and the distance, with
     /// the (1+ε) pruning rule (ε = 0 gives the exact answer).
+    ///
+    /// Uses the flat descent even when a blocked cache is live: NN
+    /// backtracking revisits the upper tree (cache-resident either way) and
+    /// every leaf still scans its bucket through the cold arena, so the
+    /// blocked walk only adds a second working set — measured ~0.85× in
+    /// `BENCH_queries.json` (`kdnn` row).  [`Self::nearest_blocked`] keeps
+    /// the blocked walk callable for that A/B.
     pub fn nearest_impl(&self, q: &PointK<K>, eps: f64) -> Option<(u32, f64)> {
         if self.root == EMPTY {
             return None;
         }
         let mut best: Option<(u32, f64)> = None;
-        let region = BBoxK::everything();
         let shrink = 1.0 / ((1.0 + eps) * (1.0 + eps));
-        self.nn_rec(self.root, &region, q, shrink, &mut best);
+        self.nn_rec(self.root, &BBoxK::everything(), q, shrink, &mut best);
         best.map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Exact nearest neighbour on the flat (pre-blocked) descent — the
+    /// "before" side of the query benchmarks; identical to [`Self::nearest`]
+    /// (which measured faster than the blocked walk and is the default).
+    pub fn nearest_flat(&self, q: &PointK<K>) -> Option<u32> {
+        self.nearest(q)
+    }
+
+    /// Exact nearest neighbour forced through the blocked descent cache
+    /// (flat when no cache is live) — the "after" side of the `kdnn`
+    /// `query_compare` row.  Identical answers and ARAM charges to
+    /// [`Self::nearest`]; kept measurable, not default (see
+    /// [`Self::nearest_impl`]).
+    pub fn nearest_blocked(&self, q: &PointK<K>) -> Option<u32> {
+        if self.root == EMPTY {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        match &self.blocked {
+            Some(b) if b.root() != NO_NODE => {
+                self.nn_blocked_rec(b, b.root(), &BBoxK::everything(), q, 1.0, &mut best)
+            }
+            _ => self.nn_rec(self.root, &BBoxK::everything(), q, 1.0, &mut best),
+        }
+        best.map(|(i, _)| i)
     }
 
     fn nn_rec(
@@ -254,6 +412,50 @@ impl<const K: usize> KdTree<K> {
         for (child, child_region) in order {
             if child != EMPTY {
                 self.nn_rec(child, &child_region, q, shrink, best);
+            }
+        }
+    }
+
+    /// [`Self::nn_rec`] over the blocked cache: same pruning, descent order
+    /// and ARAM charges; leaf buckets come from the cold arena via `orig`.
+    fn nn_blocked_rec(
+        &self,
+        b: &BlockedTree<KdHot>,
+        v: u32,
+        region: &BBoxK<K>,
+        q: &PointK<K>,
+        shrink: f64,
+        best: &mut Option<(u32, f64)>,
+    ) {
+        record_read();
+        let bn = b.node_unprefetched(v);
+        if let Some((_, best_d2)) = best {
+            if region.dist2_to_point(q) > *best_d2 * shrink {
+                return;
+            }
+        }
+        if bn.left == NO_NODE && bn.right == NO_NODE {
+            for &pi in &self.nodes[bn.orig as usize].bucket {
+                record_read();
+                let d2 = self.points[pi as usize].dist2(q);
+                if best.is_none_or(|(_, b)| d2 < b) {
+                    *best = Some((pi, d2));
+                }
+            }
+            return;
+        }
+        let hot = bn.payload;
+        let (left_region, right_region) =
+            split_region(region, hot.split_dim as usize, hot.split_val);
+        let go_left_first = q.coords[hot.split_dim as usize] < hot.split_val;
+        let order = if go_left_first {
+            [(bn.left, left_region), (bn.right, right_region)]
+        } else {
+            [(bn.right, right_region), (bn.left, left_region)]
+        };
+        for (child, child_region) in order {
+            if child != NO_NODE {
+                self.nn_blocked_rec(b, child, &child_region, q, shrink, best);
             }
         }
     }

@@ -28,21 +28,30 @@
 //!   `racecheck` feature): parallel fan-outs register the region they are
 //!   about to touch and overlapping claims from logically concurrent tasks
 //!   panic with both tasks' provenance.
+//! * [`layout`] / [`search`] — the cache-conscious query layer: blocked
+//!   (vEB-style) permutation caches for static arena trees and the
+//!   branchless, prefetching binary search every packed-run lookup goes
+//!   through.  Wall-clock machinery only: counters, digests and answers
+//!   are unchanged (MODEL.md §5).
 
 pub mod hash;
+pub mod layout;
 pub mod merge;
 pub mod pack;
 pub mod permute;
 pub mod priority_write;
 pub mod racecheck;
 pub mod scan;
+pub mod search;
 pub mod semisort;
 pub mod tournament;
 
 pub use hash::{DetHashMap, DetHashSet, DetState};
+pub use layout::{BlockedNode, BlockedTree, NO_NODE};
 pub use pack::{pack_flagged, pack_indices};
 pub use permute::{random_permutation, shuffle_in_place};
 pub use priority_write::{PriorityCell, PriorityIndex};
 pub use scan::{exclusive_scan, inclusive_scan, par_exclusive_scan};
+pub use search::{branchless_partition_point, branchless_search_by_key, run_partition_point};
 pub use semisort::semisort_by_key;
 pub use tournament::TournamentTree;

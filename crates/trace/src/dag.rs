@@ -36,6 +36,21 @@ pub trait TraceDag {
     /// highest-priority-predecessor rule without marking visited vertices.
     fn predecessors(&self, v: usize) -> Vec<usize>;
 
+    /// Append `v`'s direct successors to `out`, in the same order as
+    /// [`Self::successors`].  The trace engine calls this with a buffer it
+    /// reuses across the whole traversal, so implementors that override it
+    /// avoid one allocation per visited vertex on the hot locate path.
+    fn successors_into(&self, v: usize, out: &mut Vec<usize>) {
+        out.extend(self.successors(v));
+    }
+
+    /// Append `v`'s direct predecessors to `out`, in the same order as
+    /// [`Self::predecessors`] (same reused-buffer contract as
+    /// [`Self::successors_into`]).
+    fn predecessors_into(&self, v: usize, out: &mut Vec<usize>) {
+        out.extend(self.predecessors(v));
+    }
+
     /// The visibility predicate `f(x, v)`.
     fn visible(&self, x: &Self::Element, v: usize) -> bool;
 
@@ -109,6 +124,10 @@ pub fn trace_scratch<D: TraceDag>(
     // large-memory writes — they are charged to the `scratch` ledger instead.
     let mut stack = vec![(root, 1u64)];
     scratch.alloc(2);
+    // Adjacency buffers, reused across the whole traversal (the per-call
+    // small-memory ledger charges only the stack; these are O(degree)).
+    let mut succ: Vec<usize> = Vec::new();
+    let mut pred: Vec<usize> = Vec::new();
     while let Some((v, pathlen)) = stack.pop() {
         scratch.free(2);
         stats.max_path = stats.max_path.max(pathlen);
@@ -116,7 +135,9 @@ pub fn trace_scratch<D: TraceDag>(
             output.push(v);
             stats.output += 1;
         }
-        for w in dag.successors(v) {
+        succ.clear();
+        dag.successors_into(v, &mut succ);
+        for &w in &succ {
             // Visibility test for the child.
             stats.tests += 1;
             if !dag.visible(x, w) {
@@ -125,7 +146,9 @@ pub fn trace_scratch<D: TraceDag>(
             // Highest-priority-predecessor rule: descend into w only if v is
             // the smallest-handle visible predecessor of w.
             let mut responsible = true;
-            for u in dag.predecessors(w) {
+            pred.clear();
+            dag.predecessors_into(w, &mut pred);
+            for &u in &pred {
                 if u < v {
                     stats.tests += 1;
                     if dag.visible(x, u) {
