@@ -42,7 +42,7 @@ use pwe_asym::depth;
 use pwe_geom::interval::Interval;
 use pwe_primitives::layout::{BlockedTree, NO_NODE};
 use pwe_primitives::racecheck;
-use pwe_primitives::search::branchless_partition_point;
+use pwe_primitives::search::{branchless_partition_point, branchless_search_by_key};
 use pwe_sort_shim::sort_f64_keys;
 
 use crate::alpha::is_critical_weight;
@@ -185,19 +185,19 @@ fn splice_side(side: &mut StabSide, arena: &[StabEntry], key: (u64, u64), s: Int
 /// main run is first repacked into an owned run (uncharged physical copy),
 /// mirroring the overflow-run discipline.
 fn remove_side(side: &mut StabSide, arena: &[StabEntry], key: (u64, u64)) -> bool {
-    if let Ok(pos) = side.extra.binary_search_by_key(&key, |e| e.0) {
+    if let Ok(pos) = branchless_search_by_key(&side.extra, key, |e| e.0) {
         side.extra.remove(pos);
         return true;
     }
     if side.base_len > 0 {
         let main = &arena[side.base_off..side.base_off + side.base_len];
-        if main.binary_search_by_key(&key, |e| e.0).is_err() {
+        if branchless_search_by_key(main, key, |e| e.0).is_err() {
             return false;
         }
         side.owned = main.to_vec();
         side.base_len = 0;
     }
-    match side.owned.binary_search_by_key(&key, |e| e.0) {
+    match branchless_search_by_key(&side.owned, key, |e| e.0) {
         Ok(pos) => {
             side.owned.remove(pos);
             true

@@ -9,7 +9,7 @@ use pwe_augtree::interval::IntervalTree;
 use pwe_augtree::range_tree::{RangeTree2D, RtPoint};
 use pwe_geom::bbox::Rect;
 use pwe_geom::generators::{random_intervals, stabbing_queries, uniform_points_2d};
-use pwe_geom::{in_circle, in_circle_batch, GridPoint};
+use pwe_geom::{in_circle, in_circle_batch, in_circle_batch_scalar, GridPoint};
 
 fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("queries");
@@ -65,15 +65,27 @@ fn bench_queries(c: &mut Criterion) {
             })
             .collect()
     };
+    // Layout A/B with cascading held off on both sides (the PR 7 rows) …
     group.bench_function("range2d_flat", |b| {
         b.iter(|| {
             rects
                 .iter()
-                .map(|r| rtree.query_flat(r).len())
+                .map(|r| rtree.query_flat_uncascaded(r).len())
                 .sum::<usize>()
         })
     });
     group.bench_function("range2d_blocked", |b| {
+        b.iter(|| {
+            rects
+                .iter()
+                .map(|r| rtree.query_uncascaded(r).len())
+                .sum::<usize>()
+        })
+    });
+    // … and the fractional-cascading A/B on top of the blocked layout (the
+    // `range2d_cascade` speedup row): same answers, strictly fewer model
+    // reads; wall-clock is the honest open question the row tracks.
+    group.bench_function("range2d_cascaded", |b| {
         b.iter(|| rects.iter().map(|r| rtree.query(r).len()).sum::<usize>())
     });
 
@@ -103,6 +115,15 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| qs.iter().filter(|q| in_circle(a, bb, cc, **q)).count())
     });
     let mut mask = vec![false; qs.len()];
+    // The scalar batch loop (the dispatch fallback / SIMD oracle) …
+    group.bench_function("in_circle_batch_scalar", |b| {
+        b.iter(|| {
+            in_circle_batch_scalar(a, bb, cc, &qx, &qy, &mut mask);
+            mask.iter().filter(|&&m| m).count()
+        })
+    });
+    // … vs the public dispatcher — the explicit AVX2 kernel wherever the
+    // host has it (the `incircle_simd` speedup row).
     group.bench_function("in_circle_batched", |b| {
         b.iter(|| {
             in_circle_batch(a, bb, cc, &qx, &qy, &mut mask);

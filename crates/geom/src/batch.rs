@@ -35,9 +35,30 @@
 //! touches the ARAM counters: callers charge one tracked read per test,
 //! exactly as they did calling the scalar predicates one at a time
 //! (MODEL.md §5).
+//!
+//! **Dispatch.**  [`orient2d_batch`] and [`in_circle_batch`] are thin
+//! dispatchers: on x86-64 with AVX2 they run the explicit 4×`i64`-lane
+//! kernels in [`crate::simd`]; everywhere else (and when the
+//! `PWE_FORCE_SCALAR` environment variable is set — the knob CI uses to
+//! exercise the fallback arm on AVX2 hosts) they run the scalar loops,
+//! which stay public as [`orient2d_batch_scalar`] /
+//! [`in_circle_batch_scalar`] — the portable fallback *and* the
+//! bit-equality oracle the `simd_equiv` proptests pin the kernels against.
+//! The feature probe runs once per process (`OnceLock`); both arms are
+//! exact, so which one runs is unobservable in answers and counters.
 
 use crate::point::GridPoint;
 use crate::predicates::in_circle_det;
+
+/// One-shot dispatch decision: explicit SIMD kernels unless the platform
+/// lacks AVX2 or the `PWE_FORCE_SCALAR` knob pins the scalar oracle.
+#[cfg(target_arch = "x86_64")]
+fn use_simd() -> bool {
+    static USE_SIMD: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *USE_SIMD.get_or_init(|| {
+        std::env::var_os("PWE_FORCE_SCALAR").is_none() && is_x86_feature_detected!("avx2")
+    })
+}
 
 /// Differences at or above this magnitude leave the all-`i64` in-circle
 /// tier: `12·M⁴` must stay below `2⁶³`, which holds for `M < 2^14.8`.
@@ -57,7 +78,8 @@ const ORIENT_I64_LIMIT: i64 = 1 << 30;
 /// `i`, `out[i] = sign((b−a)×(c−a))` — `+1` counter-clockwise, `-1`
 /// clockwise, `0` collinear.  All six slices and `out` must share one
 /// length.  Bit-equal to [`crate::predicates::orient2d_det`]'s sign on
-/// every input; uncharged (callers account per test).
+/// every input; uncharged (callers account per test).  Dispatches to the
+/// AVX2 kernel where available (module doc).
 #[allow(clippy::too_many_arguments)]
 pub fn orient2d_batch(
     ax: &[i64],
@@ -78,7 +100,30 @@ pub fn orient2d_batch(
             && cy.len() == n,
         "orient2d_batch: SoA slice lengths must match"
     );
-    for i in 0..n {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd() {
+        // SAFETY: the kernel's only requirement is that AVX2 is available
+        // on this CPU — exactly what use_simd()'s runtime probe verified.
+        unsafe { crate::simd::orient2d_batch_avx2(ax, ay, bx, by, cx, cy, out) };
+        return;
+    }
+    orient2d_batch_scalar(ax, ay, bx, by, cx, cy, out);
+}
+
+/// The portable scalar loop behind [`orient2d_batch`] — the fallback arm of
+/// the dispatcher and the bit-equality oracle for the SIMD kernel.  Callers
+/// must pass equal-length slices (the dispatcher checks).
+#[allow(clippy::too_many_arguments)]
+pub fn orient2d_batch_scalar(
+    ax: &[i64],
+    ay: &[i64],
+    bx: &[i64],
+    by: &[i64],
+    cx: &[i64],
+    cy: &[i64],
+    out: &mut [i8],
+) {
+    for i in 0..out.len() {
         let abx = bx[i] - ax[i];
         let aby = by[i] - ay[i];
         let acx = cx[i] - ax[i];
@@ -99,7 +144,8 @@ pub fn orient2d_batch(
 /// **counter-clockwise** triangle `(a, b, c)`: `out[i]` is true iff
 /// `(dx[i], dy[i])` lies strictly inside the circumcircle.  Bit-equal to
 /// [`crate::predicates::in_circle`] on every input (the width filter never
-/// changes the value — module doc); uncharged.
+/// changes the value — module doc); uncharged.  Dispatches to the AVX2
+/// kernel where available (module doc).
 pub fn in_circle_batch(
     a: GridPoint,
     b: GridPoint,
@@ -113,7 +159,27 @@ pub fn in_circle_batch(
         dx.len() == n && dy.len() == n,
         "in_circle_batch: SoA slice lengths must match"
     );
-    for i in 0..n {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd() {
+        // SAFETY: the kernel's only requirement is that AVX2 is available
+        // on this CPU — exactly what use_simd()'s runtime probe verified.
+        unsafe { crate::simd::in_circle_batch_avx2(a, b, c, dx, dy, out) };
+        return;
+    }
+    in_circle_batch_scalar(a, b, c, dx, dy, out);
+}
+
+/// The portable scalar loop behind [`in_circle_batch`] — the fallback arm
+/// of the dispatcher and the bit-equality oracle for the SIMD kernel.
+pub fn in_circle_batch_scalar(
+    a: GridPoint,
+    b: GridPoint,
+    c: GridPoint,
+    dx: &[i64],
+    dy: &[i64],
+    out: &mut [bool],
+) {
+    for i in 0..out.len() {
         out[i] = in_circle_filtered(a, b, c, dx[i], dy[i]);
     }
 }

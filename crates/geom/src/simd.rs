@@ -1,0 +1,271 @@
+//! Explicit AVX2 kernels for the batched exact predicates (x86-64 only).
+//!
+//! The scalar loops in [`crate::batch`] are autovectorizer-shaped; these
+//! kernels make the data parallelism explicit: 4 tests per iteration in
+//! 4×`i64` AVX2 lanes, with the width-filter tier checks vectorized too.
+//! The dispatchers in [`crate::batch`] select them at runtime
+//! (`is_x86_feature_detected!("avx2")`, overridable with the
+//! `PWE_FORCE_SCALAR` environment knob) and keep the scalar loops as the
+//! portable fallback and the bit-equality oracle.
+//!
+//! **Exactness contract.**  Every tier computes the exact integer
+//! determinant, so the kernels are bit-equal to the scalar batch entry
+//! points on *all* inputs — including collinear and cocircular
+//! degeneracies — which the `simd_equiv` proptests pin on both dispatch
+//! arms.  Tier selection differs in shape, not in meaning: the scalar loop
+//! picks a tier per element, the SIMD kernel per 4-lane group (a group
+//! takes a tier only when **all** four lanes fit its width bound, else it
+//! falls back element-wise).  Since every tier is exact, the group-wise
+//! choice changes which arithmetic runs, never what it returns.
+//!
+//! **Width discipline (AVX2 has no 64×64 multiply).**
+//! [`_mm256_mul_epi32`] multiplies the *low 32 bits* of each lane as
+//! signed `i32` into an exact 64-bit product, so it is exact whenever both
+//! operands fit in `i32` — true for every grid difference (`< 2²⁸`) and
+//! for the degree-2 terms of the small in-circle tier (`< 2²⁹`).  The one
+//! place a factor exceeds 32 bits (the `diff × cross` products of the
+//! small tier, `< 2⁴⁴`) uses `mullo_epi64`, the classical three-multiply
+//! low-64 emulation — exact because the true product fits in `i64`.  The
+//! wide in-circle tier keeps all `i64` intermediates at degree 2 in SIMD
+//! and finishes the three 64×64→128 products per lane in scalar `i128`,
+//! the same formula as the scalar wide tier.
+//!
+//! Nothing here touches the ARAM counters (callers charge per test exactly
+//! as for the scalar kernels — MODEL.md §5), and nothing here allocates.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_loadu_si256, _mm256_mul_epi32, _mm256_mul_epu32,
+    _mm256_or_si256, _mm256_set1_epi64x, _mm256_setzero_si256, _mm256_slli_epi64, _mm256_srl_epi64,
+    _mm256_srli_epi64, _mm256_storeu_si256, _mm256_sub_epi64, _mm256_testz_si256,
+    _mm_cvtsi32_si128,
+};
+
+use crate::batch::in_circle_filtered;
+use crate::point::GridPoint;
+
+/// Lanes per iteration: AVX2 holds 4 × `i64`.
+const LANES: usize = 4;
+
+/// True iff every `i64` lane of every vector has `|v| < 2^k` — the
+/// vectorized width-filter check: `|v| < 2^k ⇔ (v + 2^k) >> (k+1) == 0`
+/// (unsigned shift), OR-reduced across lanes and vectors.
+#[target_feature(enable = "avx2")]
+fn within_pow2<const N: usize>(vs: [__m256i; N], k: i32) -> bool {
+    let bias = _mm256_set1_epi64x(1i64 << k);
+    let shift = _mm_cvtsi32_si128(k + 1);
+    let mut acc = _mm256_setzero_si256();
+    for v in vs {
+        acc = _mm256_or_si256(acc, _mm256_srl_epi64(_mm256_add_epi64(v, bias), shift));
+    }
+    _mm256_testz_si256(acc, acc) == 1
+}
+
+/// Low-64 bits of the lane-wise 64×64 product (three 32×32→64 multiplies:
+/// `lo·lo + ((lo·hi + hi·lo) << 32)`).  Exact whenever the true signed
+/// product fits in `i64` — the only way callers use it.
+#[target_feature(enable = "avx2")]
+fn mullo_epi64(x: __m256i, y: __m256i) -> __m256i {
+    let xh = _mm256_srli_epi64::<32>(x);
+    let yh = _mm256_srli_epi64::<32>(y);
+    let ll = _mm256_mul_epu32(x, y);
+    let lh = _mm256_mul_epu32(x, yh);
+    let hl = _mm256_mul_epu32(xh, y);
+    _mm256_add_epi64(ll, _mm256_slli_epi64::<32>(_mm256_add_epi64(lh, hl)))
+}
+
+/// Load 4 consecutive `i64`s starting at `s[i]` (caller guarantees
+/// `i + 4 <= s.len()`).
+#[target_feature(enable = "avx2")]
+fn load4(s: &[i64], i: usize) -> __m256i {
+    debug_assert!(i + LANES <= s.len());
+    // SAFETY: i + 4 <= s.len() (asserted), so the 32-byte read stays inside
+    // the slice; loadu has no alignment requirement.
+    unsafe { _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i) }
+}
+
+/// Store the 4 `i64` lanes of `v` to an array.
+#[target_feature(enable = "avx2")]
+fn store4(v: __m256i) -> [i64; LANES] {
+    let mut out = [0i64; LANES];
+    // SAFETY: the destination is a local [i64; 4], exactly 32 writable
+    // bytes; storeu has no alignment requirement.
+    unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v) };
+    out
+}
+
+/// AVX2 [`crate::batch::orient2d_batch`] kernel: 4 orientation signs per
+/// iteration.  Same contract and bit-identical output as the scalar loop;
+/// slice lengths are checked by the dispatcher.
+///
+/// # Safety
+///
+/// The body is safe Rust over checked slices; the only obligation is the
+/// `#[target_feature]` one — call this solely where AVX2 is known present
+/// (the dispatcher's `is_x86_feature_detected!` probe is the justification).
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub fn orient2d_batch_avx2(
+    ax: &[i64],
+    ay: &[i64],
+    bx: &[i64],
+    by: &[i64],
+    cx: &[i64],
+    cy: &[i64],
+    out: &mut [i8],
+) {
+    let n = out.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        let vax = load4(ax, i);
+        let vay = load4(ay, i);
+        let abx = _mm256_sub_epi64(load4(bx, i), vax);
+        let aby = _mm256_sub_epi64(load4(by, i), vay);
+        let acx = _mm256_sub_epi64(load4(cx, i), vax);
+        let acy = _mm256_sub_epi64(load4(cy, i), vay);
+        // The i64 tier bound of the scalar loop (ORIENT_I64_LIMIT = 2³⁰):
+        // differences fit i32, so mul_epi32 is exact and the determinant
+        // stays below 2⁶¹.
+        if within_pow2([abx, aby, acx, acy], 30) {
+            let det = _mm256_sub_epi64(_mm256_mul_epi32(abx, acy), _mm256_mul_epi32(aby, acx));
+            for (k, d) in store4(det).into_iter().enumerate() {
+                out[i + k] = d.signum() as i8;
+            }
+        } else {
+            // Out-of-grid magnitudes: the scalar guard tier, element-wise.
+            orient2d_scalar_range(ax, ay, bx, by, cx, cy, out, i, i + LANES);
+        }
+        i += LANES;
+    }
+    orient2d_scalar_range(ax, ay, bx, by, cx, cy, out, i, n);
+}
+
+/// Scalar orient2d over `[lo, hi)` — the guard/tail path of the AVX2
+/// kernel, bit-identical to the scalar batch loop.
+#[allow(clippy::too_many_arguments)]
+fn orient2d_scalar_range(
+    ax: &[i64],
+    ay: &[i64],
+    bx: &[i64],
+    by: &[i64],
+    cx: &[i64],
+    cy: &[i64],
+    out: &mut [i8],
+    lo: usize,
+    hi: usize,
+) {
+    crate::batch::orient2d_batch_scalar(
+        &ax[lo..hi],
+        &ay[lo..hi],
+        &bx[lo..hi],
+        &by[lo..hi],
+        &cx[lo..hi],
+        &cy[lo..hi],
+        &mut out[lo..hi],
+    );
+}
+
+/// AVX2 [`crate::batch::in_circle_batch`] kernel: 4 width-filtered exact
+/// in-circle tests per iteration against one fixed CCW triangle.  Same
+/// contract and bit-identical output as the scalar loop; slice lengths are
+/// checked by the dispatcher.
+///
+/// # Safety
+///
+/// The body is safe Rust over checked slices; the only obligation is the
+/// `#[target_feature]` one — call this solely where AVX2 is known present
+/// (the dispatcher's `is_x86_feature_detected!` probe is the justification).
+#[target_feature(enable = "avx2")]
+pub fn in_circle_batch_avx2(
+    a: GridPoint,
+    b: GridPoint,
+    c: GridPoint,
+    dx: &[i64],
+    dy: &[i64],
+    out: &mut [bool],
+) {
+    let n = out.len();
+    let vax = _mm256_set1_epi64x(a.x);
+    let vay = _mm256_set1_epi64x(a.y);
+    let vbx = _mm256_set1_epi64x(b.x);
+    let vby = _mm256_set1_epi64x(b.y);
+    let vcx = _mm256_set1_epi64x(c.x);
+    let vcy = _mm256_set1_epi64x(c.y);
+    let mut i = 0;
+    while i + LANES <= n {
+        let px = load4(dx, i);
+        let py = load4(dy, i);
+        let adx = _mm256_sub_epi64(vax, px);
+        let ady = _mm256_sub_epi64(vay, py);
+        let bdx = _mm256_sub_epi64(vbx, px);
+        let bdy = _mm256_sub_epi64(vby, py);
+        let cdx = _mm256_sub_epi64(vcx, px);
+        let cdy = _mm256_sub_epi64(vcy, py);
+        let diffs = [adx, ady, bdx, bdy, cdx, cdy];
+        // Same bounds as the scalar tiers (IN_CIRCLE_I64_LIMIT = 2¹⁴,
+        // IN_CIRCLE_WIDE_LIMIT = 2³⁰), applied group-wise.
+        if within_pow2(diffs, 14) {
+            // All-i64 tier: lifts < 2²⁹ (fit i32 → mul_epi32 exact for the
+            // diff×lift and lift×cross products), diff×lift crosses < 2⁴⁴
+            // (mullo_epi64), total < 2⁶⁰.
+            let ad2 = _mm256_add_epi64(_mm256_mul_epi32(adx, adx), _mm256_mul_epi32(ady, ady));
+            let bd2 = _mm256_add_epi64(_mm256_mul_epi32(bdx, bdx), _mm256_mul_epi32(bdy, bdy));
+            let cd2 = _mm256_add_epi64(_mm256_mul_epi32(cdx, cdx), _mm256_mul_epi32(cdy, cdy));
+            let t1 = _mm256_sub_epi64(_mm256_mul_epi32(bdy, cd2), _mm256_mul_epi32(cdy, bd2));
+            let t2 = _mm256_sub_epi64(_mm256_mul_epi32(bdx, cd2), _mm256_mul_epi32(cdx, bd2));
+            let bc = _mm256_sub_epi64(_mm256_mul_epi32(bdx, cdy), _mm256_mul_epi32(cdx, bdy));
+            let det = _mm256_add_epi64(
+                _mm256_sub_epi64(mullo_epi64(adx, t1), mullo_epi64(ady, t2)),
+                _mm256_mul_epi32(ad2, bc),
+            );
+            for (k, d) in store4(det).into_iter().enumerate() {
+                out[i + k] = d > 0;
+            }
+        } else if within_pow2(diffs, 30) {
+            // Widening tier: SIMD computes the degree-2 terms (lifts and
+            // crosses < 2⁶¹, diffs fit i32 → mul_epi32 exact); the three
+            // 64×64→128 lift×cross products finish per lane in scalar
+            // i128 — the exact formula of the scalar wide tier.
+            let ad2 = store4(_mm256_add_epi64(
+                _mm256_mul_epi32(adx, adx),
+                _mm256_mul_epi32(ady, ady),
+            ));
+            let bd2 = store4(_mm256_add_epi64(
+                _mm256_mul_epi32(bdx, bdx),
+                _mm256_mul_epi32(bdy, bdy),
+            ));
+            let cd2 = store4(_mm256_add_epi64(
+                _mm256_mul_epi32(cdx, cdx),
+                _mm256_mul_epi32(cdy, cdy),
+            ));
+            let xbc = store4(_mm256_sub_epi64(
+                _mm256_mul_epi32(bdx, cdy),
+                _mm256_mul_epi32(cdx, bdy),
+            ));
+            let xac = store4(_mm256_sub_epi64(
+                _mm256_mul_epi32(adx, cdy),
+                _mm256_mul_epi32(cdx, ady),
+            ));
+            let xab = store4(_mm256_sub_epi64(
+                _mm256_mul_epi32(adx, bdy),
+                _mm256_mul_epi32(bdx, ady),
+            ));
+            for k in 0..LANES {
+                let det = i128::from(ad2[k]) * i128::from(xbc[k])
+                    - i128::from(bd2[k]) * i128::from(xac[k])
+                    + i128::from(cd2[k]) * i128::from(xab[k]);
+                out[i + k] = det > 0;
+            }
+        } else {
+            // Out-of-grid magnitudes: the scalar guard tier, element-wise.
+            for k in i..i + LANES {
+                out[k] = in_circle_filtered(a, b, c, dx[k], dy[k]);
+            }
+        }
+        i += LANES;
+    }
+    for k in i..n {
+        out[k] = in_circle_filtered(a, b, c, dx[k], dy[k]);
+    }
+}

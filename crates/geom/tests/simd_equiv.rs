@@ -1,0 +1,241 @@
+//! SIMD-vs-scalar bit-equality suite (ISSUE 8 satellite).
+//!
+//! The AVX2 kernels in `pwe_geom::simd` must be **bit-identical** to the
+//! scalar batch loops on every input — degenerate (collinear, cocircular,
+//! duplicate points), boundary-magnitude (straddling each width-filter
+//! tier), and batch shapes that exercise the 4-lane grouping (mixed-tier
+//! groups, scalar tails, empty batches).  This file pins that:
+//!
+//! * directly, kernel vs scalar oracle, when the host has AVX2;
+//! * through the public dispatchers, on **whichever arm is active** — CI
+//!   runs the whole suite twice, once plain and once with
+//!   `PWE_FORCE_SCALAR=1`, so both dispatch arms are exercised on AVX2
+//!   hosts (on non-AVX2 hosts both runs take the scalar arm and the suite
+//!   degrades to a self-consistency check).
+
+use proptest::prelude::*;
+use pwe_geom::batch::{IN_CIRCLE_I64_LIMIT, IN_CIRCLE_WIDE_LIMIT};
+use pwe_geom::point::GRID_LIMIT;
+use pwe_geom::{
+    in_circle, in_circle_batch, in_circle_batch_scalar, orient2d_batch, orient2d_batch_scalar,
+    GridPoint,
+};
+
+/// Run a closure against the AVX2 kernels if the host supports them; no-op
+/// otherwise (the dispatcher tests still run everywhere).
+#[cfg(target_arch = "x86_64")]
+fn with_avx2(f: impl FnOnce()) {
+    if is_x86_feature_detected!("avx2") {
+        f();
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn with_avx2(_f: impl FnOnce()) {}
+
+/// Fold a raw grid coordinate toward a width-filter boundary chosen by two
+/// selector bits (same idiom as the `batch` unit proptests): tiny, around
+/// the all-`i64` in-circle limit, deepest in-grid, or raw.
+fn tier_map(v: i64, sel: u32) -> i64 {
+    match sel & 3 {
+        0 => v % 1000,
+        1 => v.signum() * (IN_CIRCLE_I64_LIMIT + (v % 8)),
+        2 => v.signum() * (GRID_LIMIT - 8 + (v % 8)),
+        _ => v,
+    }
+}
+
+fn tier_coord() -> impl Strategy<Value = i64> {
+    -GRID_LIMIT..GRID_LIMIT
+}
+
+/// SoA orientation batch with per-element tier selectors, plus injected
+/// degeneracies: every third triple is made exactly collinear (`c` on the
+/// `a→b` line) and every seventh duplicates `a` into `b`.
+#[allow(clippy::type_complexity)]
+fn orient_soa(
+    raw: &[(i64, i64, i64, i64, i64, i64, u32)],
+) -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut ax = Vec::new();
+    let mut ay = Vec::new();
+    let mut bx = Vec::new();
+    let mut by = Vec::new();
+    let mut cx = Vec::new();
+    let mut cy = Vec::new();
+    for (i, &(a0, a1, b0, b1, c0, c1, sel)) in raw.iter().enumerate() {
+        let (pax, pay) = (tier_map(a0, sel), tier_map(a1, sel >> 2));
+        let (mut pbx, mut pby) = (tier_map(b0, sel >> 4), tier_map(b1, sel >> 6));
+        let (mut pcx, mut pcy) = (tier_map(c0, sel >> 8), tier_map(c1, sel >> 10));
+        if i % 3 == 0 {
+            // Exactly collinear: c = a + 2·(b − a) stays on the line.
+            pcx = pax + 2 * (pbx - pax);
+            pcy = pay + 2 * (pby - pay);
+        }
+        if i % 7 == 0 {
+            (pbx, pby) = (pax, pay);
+        }
+        ax.push(pax);
+        ay.push(pay);
+        bx.push(pbx);
+        by.push(pby);
+        cx.push(pcx);
+        cy.push(pcy);
+    }
+    (ax, ay, bx, by, cx, cy)
+}
+
+proptest! {
+    // Orientation: kernel == scalar oracle == dispatcher, element-wise
+    // bit-equal, across batch lengths that cover full 4-lane groups,
+    // tails, and the empty batch.
+    #[test]
+    fn prop_orient_simd_equals_scalar(
+        raw in proptest::collection::vec(
+            (tier_coord(), tier_coord(), tier_coord(), tier_coord(),
+             tier_coord(), tier_coord(), 0u32..4096),
+            0..40,
+        ),
+    ) {
+        let (ax, ay, bx, by, cx, cy) = orient_soa(&raw);
+        let n = raw.len();
+        let mut scalar = vec![0i8; n];
+        orient2d_batch_scalar(&ax, &ay, &bx, &by, &cx, &cy, &mut scalar);
+        let mut dispatched = vec![0i8; n];
+        orient2d_batch(&ax, &ay, &bx, &by, &cx, &cy, &mut dispatched);
+        prop_assert_eq!(&dispatched, &scalar, "dispatcher arm diverged");
+        with_avx2(|| {
+            let mut simd = vec![0i8; n];
+            // SAFETY: guarded by is_x86_feature_detected!("avx2").
+            unsafe { pwe_geom::simd::orient2d_batch_avx2(&ax, &ay, &bx, &by, &cx, &cy, &mut simd) };
+            assert_eq!(simd, scalar, "AVX2 kernel diverged from scalar oracle");
+        });
+    }
+
+    // In-circle: kernel == scalar oracle == dispatcher on streams that mix
+    // filter tiers within single 4-lane groups and include exactly
+    // cocircular queries (each triangle vertex is re-tested as a query, so
+    // det = 0 cases appear on every tier).
+    #[test]
+    fn prop_in_circle_simd_equals_scalar(
+        ax in tier_coord(), ay in tier_coord(),
+        bx in tier_coord(), by in tier_coord(),
+        cx in tier_coord(), cy in tier_coord(),
+        sel in 0u32..4096,
+        queries in proptest::collection::vec(
+            (tier_coord(), tier_coord(), 0u32..16), 0..40,
+        ),
+    ) {
+        let a = GridPoint::new(tier_map(ax, sel), tier_map(ay, sel >> 2));
+        let b = GridPoint::new(tier_map(bx, sel >> 4), tier_map(by, sel >> 6));
+        let c = GridPoint::new(tier_map(cx, sel >> 8), tier_map(cy, sel >> 10));
+        let mut dx = vec![a.x, b.x, c.x];
+        let mut dy = vec![a.y, b.y, c.y];
+        for &(qx, qy, qsel) in &queries {
+            dx.push(tier_map(qx, qsel));
+            dy.push(tier_map(qy, qsel >> 2));
+        }
+        let n = dx.len();
+        let mut scalar = vec![false; n];
+        in_circle_batch_scalar(a, b, c, &dx, &dy, &mut scalar);
+        for i in 0..n {
+            prop_assert_eq!(
+                scalar[i],
+                in_circle(a, b, c, GridPoint::new(dx[i], dy[i])),
+                "scalar batch vs exact predicate, query {}", i
+            );
+        }
+        let mut dispatched = vec![false; n];
+        in_circle_batch(a, b, c, &dx, &dy, &mut dispatched);
+        prop_assert_eq!(&dispatched, &scalar, "dispatcher arm diverged");
+        with_avx2(|| {
+            let mut simd = vec![false; n];
+            // SAFETY: guarded by is_x86_feature_detected!("avx2").
+            unsafe { pwe_geom::simd::in_circle_batch_avx2(a, b, c, &dx, &dy, &mut simd) };
+            assert_eq!(simd, scalar, "AVX2 kernel diverged from scalar oracle");
+        });
+    }
+}
+
+/// Deterministic magnitude sweep: batches pinned at the exact tier
+/// boundaries (±1 around `IN_CIRCLE_I64_LIMIT`, `IN_CIRCLE_WIDE_LIMIT` and
+/// the orient `i64` limit), where an unsound width filter or a lane-width
+/// overflow would first lie.
+#[test]
+fn tier_boundary_magnitudes_bit_equal() {
+    let mags = [
+        1,
+        IN_CIRCLE_I64_LIMIT - 1,
+        IN_CIRCLE_I64_LIMIT,
+        IN_CIRCLE_I64_LIMIT + 1,
+        GRID_LIMIT - 1,
+        IN_CIRCLE_WIDE_LIMIT - 1,
+        IN_CIRCLE_WIDE_LIMIT,
+        IN_CIRCLE_WIDE_LIMIT + 1,
+        (1 << 31) - 1,
+        1 << 31,
+        (1 << 31) + 1,
+    ];
+    // Orientation: right triangles at every magnitude plus their mirror
+    // images and a collinear triple; one batch so groups mix tiers.
+    let mut ax = Vec::new();
+    let mut ay = Vec::new();
+    let mut bx = Vec::new();
+    let mut by = Vec::new();
+    let mut cx = Vec::new();
+    let mut cy = Vec::new();
+    for &m in &mags {
+        for (pb, pc) in [((m, 0), (0, m)), ((0, m), (m, 0)), ((m, m), (2 * m, 2 * m))] {
+            ax.push(0);
+            ay.push(0);
+            bx.push(pb.0);
+            by.push(pb.1);
+            cx.push(pc.0);
+            cy.push(pc.1);
+        }
+    }
+    let n = ax.len();
+    let mut scalar = vec![0i8; n];
+    orient2d_batch_scalar(&ax, &ay, &bx, &by, &cx, &cy, &mut scalar);
+    let mut dispatched = vec![0i8; n];
+    orient2d_batch(&ax, &ay, &bx, &by, &cx, &cy, &mut dispatched);
+    assert_eq!(dispatched, scalar);
+    with_avx2(|| {
+        let mut simd = vec![0i8; n];
+        // SAFETY: guarded by is_x86_feature_detected!("avx2").
+        unsafe { pwe_geom::simd::orient2d_batch_avx2(&ax, &ay, &bx, &by, &cx, &cy, &mut simd) };
+        assert_eq!(simd, scalar);
+    });
+    // In-circle: a right triangle per magnitude, queried at the centre
+    // (inside), far outside, exactly cocircular, and on a vertex.  Triangle
+    // vertices are GridPoints, so magnitudes stay in-grid (2·m ≤
+    // GRID_LIMIT) — which is also why the i128 guard tier is unreachable
+    // from valid in-circle batches (module doc of `batch`).
+    let circle_mags = [
+        1,
+        IN_CIRCLE_I64_LIMIT - 1,
+        IN_CIRCLE_I64_LIMIT,
+        IN_CIRCLE_I64_LIMIT + 1,
+        GRID_LIMIT / 2 - 1,
+        GRID_LIMIT / 2,
+    ];
+    for &m in &circle_mags {
+        let (a, b, c) = (
+            GridPoint::new(0, 0),
+            GridPoint::new(2 * m, 0),
+            GridPoint::new(0, 2 * m),
+        );
+        let dx = vec![m, 3 * m, 2 * m, 0, 1];
+        let dy = vec![m, 3 * m, 2 * m, 0, 1];
+        let mut scalar = vec![false; dx.len()];
+        in_circle_batch_scalar(a, b, c, &dx, &dy, &mut scalar);
+        let mut dispatched = vec![false; dx.len()];
+        in_circle_batch(a, b, c, &dx, &dy, &mut dispatched);
+        assert_eq!(dispatched, scalar, "m={m}");
+        with_avx2(|| {
+            let mut simd = vec![false; dx.len()];
+            // SAFETY: guarded by is_x86_feature_detected!("avx2").
+            unsafe { pwe_geom::simd::in_circle_batch_avx2(a, b, c, &dx, &dy, &mut simd) };
+            assert_eq!(simd, scalar, "m={m}");
+        });
+    }
+}

@@ -64,13 +64,53 @@ pub struct QueryStats {
     pub reported: u64,
 }
 
+/// Leaf bucket slots inlined into the hot payload: the first
+/// `HOT_BUCKET_HEAD` point indices of every leaf ride inside the blocked
+/// node itself, so short leaf scans never leave the block.  Longer buckets
+/// spill their remainder into [`KdBlocked::tails`] — one contiguous array,
+/// not a per-leaf heap `Vec` like the cold arena's `KdNode::bucket`.
+const HOT_BUCKET_HEAD: usize = 4;
+
 /// Hot descent fields of the blocked query cache: interior descents read
-/// only the split plane; leaf buckets stay in the cold arena, reached via
-/// the blocked node's `orig` back-pointer.
+/// only the split plane; leaf scans read the bucket head inline and any
+/// tail from the packed [`KdBlocked::tails`] array — the cold `KdNode`
+/// arena is never touched on the blocked path.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct KdHot {
     split_dim: u32,
     split_val: f64,
+    /// Bucket length (0 for interior nodes).
+    blen: u32,
+    /// Offset of `bucket[HOT_BUCKET_HEAD..]` in [`KdBlocked::tails`]
+    /// (meaningful only when `blen > HOT_BUCKET_HEAD`).
+    tail: u32,
+    /// The first `min(blen, HOT_BUCKET_HEAD)` bucket entries.
+    head: [u32; HOT_BUCKET_HEAD],
+}
+
+/// The blocked query cache: the vEB-style descent tree plus the packed
+/// leaf-bucket tails.  Purely derived (rebuilt by
+/// [`KdTree::rebuild_blocked`], dropped on mutation), identical answers and
+/// ARAM charges to the flat arena walk.
+#[derive(Debug, Clone)]
+pub(crate) struct KdBlocked {
+    tree: BlockedTree<KdHot>,
+    /// Concatenated `bucket[HOT_BUCKET_HEAD..]` of every long-bucket leaf.
+    tails: Vec<u32>,
+}
+
+impl KdBlocked {
+    /// The `k`-th bucket entry of the leaf whose hot payload is `hot`
+    /// (head slots inline, tail slots from the packed array).
+    #[inline]
+    fn bucket_entry(&self, hot: &KdHot, k: usize) -> u32 {
+        debug_assert!(k < hot.blen as usize);
+        if k < HOT_BUCKET_HEAD {
+            hot.head[k]
+        } else {
+            self.tails[hot.tail as usize + (k - HOT_BUCKET_HEAD)]
+        }
+    }
 }
 
 /// A k-d tree over `K`-dimensional points.
@@ -86,7 +126,7 @@ pub struct KdTree<const K: usize> {
     /// structure's identity, identical answers and charges on either path
     /// ([`Self::range_query_flat`] / [`Self::nearest_flat`] keep the flat
     /// path callable).
-    pub(crate) blocked: Option<BlockedTree<KdHot>>,
+    pub(crate) blocked: Option<KdBlocked>,
 }
 
 impl<const K: usize> KdTree<K> {
@@ -111,15 +151,35 @@ impl<const K: usize> KdTree<K> {
             return;
         }
         let nodes = &self.nodes;
-        self.blocked = Some(BlockedTree::build(
+        // Pack long-bucket tails contiguously (slot order, deterministic);
+        // the heads are copied into the hot payloads below.
+        let mut tails: Vec<u32> = Vec::new();
+        let mut tail_off: Vec<u32> = vec![0; nodes.len()];
+        for (v, node) in nodes.iter().enumerate() {
+            if node.bucket.len() > HOT_BUCKET_HEAD {
+                tail_off[v] = tails.len() as u32;
+                tails.extend_from_slice(&node.bucket[HOT_BUCKET_HEAD..]);
+            }
+        }
+        let tree = BlockedTree::build(
             nodes.len(),
             self.root,
             |v| (nodes[v].left, nodes[v].right),
-            |v| KdHot {
-                split_dim: nodes[v].split_dim as u32,
-                split_val: nodes[v].split_val,
+            |v| {
+                let node = &nodes[v];
+                let take = node.bucket.len().min(HOT_BUCKET_HEAD);
+                let mut head = [0u32; HOT_BUCKET_HEAD];
+                head[..take].copy_from_slice(&node.bucket[..take]);
+                KdHot {
+                    split_dim: node.split_dim as u32,
+                    split_val: node.split_val,
+                    blen: node.bucket.len() as u32,
+                    tail: tail_off[v],
+                    head,
+                }
             },
-        ));
+        );
+        self.blocked = Some(KdBlocked { tree, tails });
     }
 
     /// The number of points the tree indexes.
@@ -170,9 +230,9 @@ impl<const K: usize> KdTree<K> {
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
         match &self.blocked {
-            Some(b) if b.root() != NO_NODE => {
+            Some(kb) if kb.tree.root() != NO_NODE => {
                 let region = BBoxK::everything();
-                self.range_blocked_rec(b, b.root(), &region, query, &mut out, &mut stats);
+                self.range_blocked_rec(kb, kb.tree.root(), &region, query, &mut out, &mut stats);
             }
             _ => {
                 if self.root != EMPTY {
@@ -253,12 +313,13 @@ impl<const K: usize> KdTree<K> {
         }
     }
 
-    /// [`Self::range_rec`] over the blocked cache: interior split planes are
-    /// read blocked-locally; leaf buckets come from the cold arena via
-    /// `orig`.  Same pruning, visit set and ARAM charges as the flat walk.
+    /// [`Self::range_rec`] over the blocked cache: interior split planes
+    /// are read blocked-locally; leaf buckets come from the inlined head
+    /// plus the packed tails — never the cold arena.  Same pruning, visit
+    /// set and ARAM charges as the flat walk.
     fn range_blocked_rec(
         &self,
-        b: &BlockedTree<KdHot>,
+        kb: &KdBlocked,
         v: u32,
         region: &BBoxK<K>,
         query: &BBoxK<K>,
@@ -267,9 +328,11 @@ impl<const K: usize> KdTree<K> {
     ) {
         stats.nodes_visited += 1;
         record_read();
-        let bn = b.node(v);
+        let bn = kb.tree.node(v);
+        let hot = bn.payload;
         if bn.left == NO_NODE && bn.right == NO_NODE {
-            for &pi in &self.nodes[bn.orig as usize].bucket {
+            for k in 0..hot.blen as usize {
+                let pi = kb.bucket_entry(&hot, k);
                 stats.points_tested += 1;
                 record_read();
                 if query.contains(&self.points[pi as usize]) {
@@ -279,41 +342,36 @@ impl<const K: usize> KdTree<K> {
             return;
         }
         if query.contains_box(region) {
-            self.collect_blocked(b, v, out, stats);
+            self.collect_blocked(kb, v, out, stats);
             return;
         }
-        let hot = bn.payload;
         let (left_region, right_region) =
             split_region(region, hot.split_dim as usize, hot.split_val);
         if bn.left != NO_NODE && query.intersects(&left_region) {
-            self.range_blocked_rec(b, bn.left, &left_region, query, out, stats);
+            self.range_blocked_rec(kb, bn.left, &left_region, query, out, stats);
         }
         if bn.right != NO_NODE && query.intersects(&right_region) {
-            self.range_blocked_rec(b, bn.right, &right_region, query, out, stats);
+            self.range_blocked_rec(kb, bn.right, &right_region, query, out, stats);
         }
     }
 
-    fn collect_blocked(
-        &self,
-        b: &BlockedTree<KdHot>,
-        v: u32,
-        out: &mut Vec<u32>,
-        stats: &mut QueryStats,
-    ) {
+    fn collect_blocked(&self, kb: &KdBlocked, v: u32, out: &mut Vec<u32>, stats: &mut QueryStats) {
         stats.nodes_visited += 1;
         record_read();
-        let bn = b.node(v);
+        let bn = kb.tree.node(v);
         if bn.left == NO_NODE && bn.right == NO_NODE {
-            let bucket = &self.nodes[bn.orig as usize].bucket;
-            out.extend_from_slice(bucket);
-            record_reads(bucket.len() as u64);
+            let hot = bn.payload;
+            for k in 0..hot.blen as usize {
+                out.push(kb.bucket_entry(&hot, k));
+            }
+            record_reads(u64::from(hot.blen));
             return;
         }
         if bn.left != NO_NODE {
-            self.collect_blocked(b, bn.left, out, stats);
+            self.collect_blocked(kb, bn.left, out, stats);
         }
         if bn.right != NO_NODE {
-            self.collect_blocked(b, bn.right, out, stats);
+            self.collect_blocked(kb, bn.right, out, stats);
         }
     }
 
@@ -332,12 +390,14 @@ impl<const K: usize> KdTree<K> {
     /// Nearest-neighbour search returning the index and the distance, with
     /// the (1+ε) pruning rule (ε = 0 gives the exact answer).
     ///
-    /// Uses the flat descent even when a blocked cache is live: NN
-    /// backtracking revisits the upper tree (cache-resident either way) and
-    /// every leaf still scans its bucket through the cold arena, so the
-    /// blocked walk only adds a second working set — measured ~0.85× in
-    /// `BENCH_queries.json` (`kdnn` row).  [`Self::nearest_blocked`] keeps
-    /// the blocked walk callable for that A/B.
+    /// Uses the flat descent even when a blocked cache is live.  Inlining
+    /// the leaf bucket heads into the blocked payload (plus packing the
+    /// tails contiguously) recovered most of the blocked walk's earlier
+    /// ~0.85× regression — the `kdnn` row now measures ~0.97–1.06×, parity
+    /// within noise — but NN backtracking keeps the upper tree
+    /// cache-resident either way and the flat walk still wins marginally
+    /// on median, so it stays the default.  [`Self::nearest_blocked`]
+    /// keeps the blocked walk callable for that A/B.
     pub fn nearest_impl(&self, q: &PointK<K>, eps: f64) -> Option<(u32, f64)> {
         if self.root == EMPTY {
             return None;
@@ -366,8 +426,8 @@ impl<const K: usize> KdTree<K> {
         }
         let mut best: Option<(u32, f64)> = None;
         match &self.blocked {
-            Some(b) if b.root() != NO_NODE => {
-                self.nn_blocked_rec(b, b.root(), &BBoxK::everything(), q, 1.0, &mut best)
+            Some(kb) if kb.tree.root() != NO_NODE => {
+                self.nn_blocked_rec(kb, kb.tree.root(), &BBoxK::everything(), q, 1.0, &mut best)
             }
             _ => self.nn_rec(self.root, &BBoxK::everything(), q, 1.0, &mut best),
         }
@@ -417,10 +477,11 @@ impl<const K: usize> KdTree<K> {
     }
 
     /// [`Self::nn_rec`] over the blocked cache: same pruning, descent order
-    /// and ARAM charges; leaf buckets come from the cold arena via `orig`.
+    /// and ARAM charges; leaf buckets come from the inlined head plus the
+    /// packed tails — never the cold arena.
     fn nn_blocked_rec(
         &self,
-        b: &BlockedTree<KdHot>,
+        kb: &KdBlocked,
         v: u32,
         region: &BBoxK<K>,
         q: &PointK<K>,
@@ -428,14 +489,16 @@ impl<const K: usize> KdTree<K> {
         best: &mut Option<(u32, f64)>,
     ) {
         record_read();
-        let bn = b.node_unprefetched(v);
+        let bn = kb.tree.node_unprefetched(v);
         if let Some((_, best_d2)) = best {
             if region.dist2_to_point(q) > *best_d2 * shrink {
                 return;
             }
         }
+        let hot = bn.payload;
         if bn.left == NO_NODE && bn.right == NO_NODE {
-            for &pi in &self.nodes[bn.orig as usize].bucket {
+            for k in 0..hot.blen as usize {
+                let pi = kb.bucket_entry(&hot, k);
                 record_read();
                 let d2 = self.points[pi as usize].dist2(q);
                 if best.is_none_or(|(_, b)| d2 < b) {
@@ -444,7 +507,6 @@ impl<const K: usize> KdTree<K> {
             }
             return;
         }
-        let hot = bn.payload;
         let (left_region, right_region) =
             split_region(region, hot.split_dim as usize, hot.split_val);
         let go_left_first = q.coords[hot.split_dim as usize] < hot.split_val;
@@ -455,7 +517,7 @@ impl<const K: usize> KdTree<K> {
         };
         for (child, child_region) in order {
             if child != NO_NODE {
-                self.nn_blocked_rec(b, child, &child_region, q, shrink, best);
+                self.nn_blocked_rec(kb, child, &child_region, q, shrink, best);
             }
         }
     }

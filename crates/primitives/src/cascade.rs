@@ -1,0 +1,601 @@
+//! Fractional cascading over per-node sorted catalogs (Chazelle–Guibas).
+//!
+//! pwe-lint: deny-untracked-alloc
+//!
+//! The α-labeled range tree answers a 2-D query by locating the same y-key
+//! in the sorted run of every critical node the descent visits — an
+//! independent `⌈log₂ m⌉`-read binary search per node, `Θ(log² n)` probe
+//! reads per query in total.  Fractional cascading is the classical fix:
+//! give every node `v` an **augmented list**
+//!
+//! ```text
+//! A(v) = merge( C(v),  sample₂(A(left)),  sample₂(A(right)) )
+//! ```
+//!
+//! where `C(v)` is the node's own catalog (its sorted run, possibly empty)
+//! and `sample₂` keeps every 2nd element (odd positions).  Each augmented
+//! entry stores **bridges** `bl`/`br` — the first position in the child's
+//! augmented list whose key is ≥ its own — and a **catalog prefix count**
+//! `cat` — how many of the entries before it came from `C(v)`.  A query
+//! then pays one `⌈log₂ |A(root)|⌉ + 1` search at the root and re-locates
+//! its key at every child in `O(1)` bridge reads.
+//!
+//! **Read accounting — the in-hand entry invariant.**  Every locate
+//! ([`CascadeIndex::start`], [`CascadeIndex::bridge`]) ends with the entry
+//! at the returned position *charged and in hand*: the caller may use its
+//! fields (`bl`, `br`, `cat`) without further charge, which is why
+//! [`CascadeIndex::catalog_start`] and the bridge-pointer dereference are
+//! free.  A bridge hop then costs **at most 2 reads**: one probe of the
+//! entry just before the bridge target — between any two consecutive
+//! child-list entries one is sampled into the parent, so the bridge
+//! overshoots by at most one position, and a single probe decides it — and
+//! that probe either *is* the result entry (walk-back taken: 1 read total)
+//! or one more read loads the result entry (2 reads).  `Θ(log n)` total
+//! locate reads per query against the uncascaded `Θ(log² n)` (MODEL.md §5,
+//! "Fractional cascading").
+//!
+//! **Accounting.**  Like [`crate::layout::BlockedTree`], the index is a
+//! *derived overlay*: built at finalize from digested state by a pure
+//! function of the tree (uncharged, never digested, dropped on structural
+//! mutation).  Unlike blocking, cascaded **queries** charge differently
+//! from uncascaded ones — the bridge hops are real algorithm reads and are
+//! charged here ([`CascadeIndex::start`], [`CascadeIndex::bridge`],
+//! [`CascadeIndex::catalog_start`]); the saving is the point of the
+//! structure, and callers keep the uncascaded path callable for a live A/B.
+//!
+//! The build forks over disjoint entry regions ([`par_join`] over
+//! `split_at_mut` halves) and registers [`racecheck`] claims per arm, like
+//! every other engine fan-out in the workspace.
+
+use pwe_asym::counters::{record_read, record_reads};
+use pwe_asym::depth::log2_ceil;
+use pwe_asym::parallel::par_join;
+
+use crate::racecheck;
+use crate::search::{branchless_partition_point, prefetch_read};
+
+/// "No list" sentinel for arena slots outside the indexed tree.
+const NO_LIST: u32 = u32::MAX;
+
+/// Regions with fewer entries than this are filled without forking (same
+/// rationale as the other engine cutoffs: below the grain, deque traffic
+/// would dominate the merge work).
+const FORK_CUTOFF: usize = 4096;
+
+/// One augmented-list entry: the key plus the two bridges and the catalog
+/// prefix count.  A list of length `ℓ` stores `ℓ + 1` entries — the last is
+/// a **sentinel** whose key is never compared (it carries the end-of-list
+/// bridges `bl = |A(left)|`, `br = |A(right)|` and `cat = |C(v)|`).
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeEntry<K> {
+    /// The merged key (undefined padding value on the sentinel entry).
+    pub key: K,
+    /// First position in the left child's augmented list with key ≥ `key`.
+    pub bl: u32,
+    /// First position in the right child's augmented list with key ≥ `key`.
+    pub br: u32,
+    /// Number of own-catalog entries strictly before this position.
+    pub cat: u32,
+}
+
+/// A fractional-cascading index over a static binary-tree arena whose nodes
+/// carry sorted catalogs.  Built once at finalize (see the module docs for
+/// the accounting contract); positions returned by [`Self::start`] /
+/// [`Self::bridge`] are exact `partition_point`s of the augmented lists, so
+/// [`Self::catalog_start`] is the exact catalog lower bound at every node.
+#[derive(Debug, Clone)]
+pub struct CascadeIndex<K> {
+    /// Per arena slot: offset of its `len + 1`-entry list in `entries`.
+    off: Vec<u32>,
+    /// Per arena slot: augmented-list length (excluding the sentinel).
+    alen: Vec<u32>,
+    entries: Vec<CascadeEntry<K>>,
+}
+
+impl<K> Default for CascadeIndex<K> {
+    fn default() -> Self {
+        CascadeIndex {
+            // alloc: scratch — zero-capacity placeholders for the empty index (no backing allocation)
+            off: Vec::new(),
+            // alloc: scratch — zero-capacity placeholder (no backing allocation)
+            alen: Vec::new(),
+            // alloc: scratch — zero-capacity placeholder (no backing allocation)
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Copy + Ord + Send + Sync> CascadeIndex<K> {
+    /// Build the index for the `n`-slot arena rooted at `root`
+    /// (`usize::MAX` for an empty tree).  `children(slot)` returns the
+    /// child slots (`usize::MAX` = none); `cat_len(slot)` /
+    /// `cat_key(slot, i)` expose each node's sorted catalog (`cat_len` may
+    /// be 0 — secondary nodes have no catalog).  `fill` is an arbitrary
+    /// key used to pad the never-compared sentinel entries.
+    ///
+    /// Derived-overlay maintenance: uncharged, deterministic (a pure
+    /// function of tree shape and catalogs), forked over disjoint regions
+    /// with racecheck claims per arm.
+    pub fn build<C, CL, CK>(
+        n: usize,
+        root: usize,
+        children: C,
+        cat_len: CL,
+        cat_key: CK,
+        fill: K,
+    ) -> Self
+    where
+        C: Fn(usize) -> (usize, usize) + Sync,
+        CL: Fn(usize) -> usize + Sync,
+        CK: Fn(usize, usize) -> K + Sync,
+    {
+        if root == usize::MAX || n == 0 {
+            return CascadeIndex::default();
+        }
+        // alloc: large-mem — per-slot list offsets, one word per arena slot (uncharged derived overlay, module doc)
+        let mut off = vec![NO_LIST; n];
+        // alloc: large-mem — per-slot augmented-list lengths (uncharged derived overlay)
+        let mut alen = vec![0u32; n];
+        // alloc: scratch — per-slot subtree entry totals, used only to split fill regions (freed at end of build)
+        let mut total = vec![0usize; n];
+        // Pass 1 (sequential, bottom-up): |A(v)| = |C(v)| + ⌊|A(l)|/2⌋ +
+        // ⌊|A(r)|/2⌋ and the subtree entry totals that pre-size the arena.
+        Self::sizes_rec(root, &children, &cat_len, &mut alen, &mut total);
+        // Pass 2 (sequential, top-down): preorder offsets — own list first,
+        // then the left subtree's region, then the right's.
+        Self::offs_rec(root, 0, &children, &alen, &total, &mut off);
+        let entry_total = total[root];
+        assert!(
+            entry_total < u32::MAX as usize,
+            "cascade entry arena too large"
+        );
+        // alloc: large-mem — the augmented-list entries, Σ(|A(v)|+1) ≤ 2·Σ|C| + n words (uncharged derived overlay)
+        let mut entries = vec![
+            CascadeEntry {
+                key: fill,
+                bl: 0,
+                br: 0,
+                cat: 0,
+            };
+            entry_total
+        ];
+        // Pass 3 (parallel): fill each node's list by a 3-way merge of its
+        // catalog and the children's sampled lists, forking over the
+        // disjoint subtree regions.
+        let cx = FillCtx {
+            children: &children,
+            cat_len: &cat_len,
+            cat_key: &cat_key,
+            alen: &alen,
+            total: &total,
+        };
+        Self::fill_rec(root, &mut entries, &cx, fill);
+        CascadeIndex { off, alen, entries }
+    }
+
+    fn sizes_rec<C, CL>(v: usize, children: &C, cat_len: &CL, alen: &mut [u32], total: &mut [usize])
+    where
+        C: Fn(usize) -> (usize, usize),
+        CL: Fn(usize) -> usize,
+    {
+        let (l, r) = children(v);
+        let (mut a, mut t) = (cat_len(v), 0usize);
+        for c in [l, r] {
+            if c != usize::MAX {
+                Self::sizes_rec(c, children, cat_len, alen, total);
+                a += alen[c] as usize / 2;
+                t += total[c];
+            }
+        }
+        assert!(a < u32::MAX as usize, "cascade list too large");
+        alen[v] = a as u32;
+        total[v] = a + 1 + t;
+    }
+
+    fn offs_rec<C>(
+        v: usize,
+        base: usize,
+        children: &C,
+        alen: &[u32],
+        total: &[usize],
+        off: &mut [u32],
+    ) where
+        C: Fn(usize) -> (usize, usize),
+    {
+        off[v] = base as u32;
+        let (l, r) = children(v);
+        let mut child_base = base + alen[v] as usize + 1;
+        for c in [l, r] {
+            if c != usize::MAX {
+                Self::offs_rec(c, child_base, children, alen, total, off);
+                child_base += total[c];
+            }
+        }
+    }
+
+    fn fill_rec<'a, C, CL, CK>(
+        v: usize,
+        region: &'a mut [CascadeEntry<K>],
+        cx: &FillCtx<'_, C, CL, CK>,
+        fill: K,
+    ) -> &'a [CascadeEntry<K>]
+    where
+        C: Fn(usize) -> (usize, usize) + Sync,
+        CL: Fn(usize) -> usize + Sync,
+        CK: Fn(usize, usize) -> K + Sync,
+    {
+        let (l, r) = (cx.children)(v);
+        let own_len = cx.alen[v] as usize + 1;
+        let (own, rest) = region.split_at_mut(own_len);
+        let lt = if l == usize::MAX { 0 } else { cx.total[l] };
+        let (lreg, rreg) = rest.split_at_mut(lt);
+        // Children first (their filled lists feed this node's merge); fork
+        // when both sides are above the grain, claiming each arm's region.
+        let forked = lreg.len().min(rreg.len()) > FORK_CUTOFF;
+        let fill_child = |c: usize, creg: &'a mut [CascadeEntry<K>], site: &'static str| {
+            if c == usize::MAX {
+                return &creg[..0];
+            }
+            // racecheck: when the fork is real, each arm claims its
+            // disjoint entry region.
+            let _claim = forked.then(|| racecheck::claim_slice(&*creg, site));
+            Self::fill_rec(c, creg, cx, fill)
+        };
+        let (lview, rview) = if forked {
+            par_join(
+                move || fill_child(l, lreg, "cascade::fill_rec/left"),
+                move || fill_child(r, rreg, "cascade::fill_rec/right"),
+            )
+        } else {
+            (
+                fill_child(l, lreg, "cascade::fill_rec/left"),
+                fill_child(r, rreg, "cascade::fill_rec/right"),
+            )
+        };
+        // The children's own lists sit at the front of their regions.
+        let ll = if l == usize::MAX {
+            0
+        } else {
+            cx.alen[l] as usize
+        };
+        let lr = if r == usize::MAX {
+            0
+        } else {
+            cx.alen[r] as usize
+        };
+        let cl = (cx.cat_len)(v);
+        // 3-way merge: catalog + odd-position samples of each child list.
+        // Ties resolve catalog-first then left-before-right (any fixed
+        // order works — positions only ever depend on keys).
+        let (mut ci, mut sl, mut sr) = (0usize, 1usize, 1usize);
+        let (mut jl, mut jr) = (0u32, 0u32);
+        let mut cat = 0u32;
+        for slot in own.iter_mut().take(own_len - 1) {
+            let ck = (ci < cl).then(|| (cx.cat_key)(v, ci));
+            let lk = (sl < ll).then(|| lview[sl].key);
+            let rk = (sr < lr).then(|| rview[sr].key);
+            // Smallest available key, catalog-first on ties.
+            let (k, from_cat) = match (ck, lk, rk) {
+                (Some(c), _, _) if lk.is_none_or(|x| c <= x) && rk.is_none_or(|x| c <= x) => {
+                    ci += 1;
+                    (c, true)
+                }
+                (_, Some(x), _) if rk.is_none_or(|y| x <= y) => {
+                    sl += 2;
+                    (x, false)
+                }
+                (_, _, Some(y)) => {
+                    sr += 2;
+                    (y, false)
+                }
+                _ => unreachable!("merge emitted more entries than |A(v)|"),
+            };
+            while (jl as usize) < ll && lview[jl as usize].key < k {
+                jl += 1;
+            }
+            while (jr as usize) < lr && rview[jr as usize].key < k {
+                jr += 1;
+            }
+            *slot = CascadeEntry {
+                key: k,
+                bl: jl,
+                br: jr,
+                cat,
+            };
+            cat += u32::from(from_cat);
+        }
+        own[own_len - 1] = CascadeEntry {
+            key: fill,
+            bl: ll as u32,
+            br: lr as u32,
+            cat: cl as u32,
+        };
+        debug_assert_eq!(cat as usize, cl, "merge must consume the whole catalog");
+        &*own
+    }
+
+    /// Whether slot `v` has an augmented list (false on the empty index or
+    /// for slots outside the indexed tree).
+    #[inline]
+    pub fn is_indexed(&self, v: usize) -> bool {
+        self.off.get(v).is_some_and(|&o| o != NO_LIST)
+    }
+
+    /// Augmented-list length of slot `v` (excluding the sentinel).
+    #[inline]
+    pub fn list_len(&self, v: usize) -> usize {
+        self.alen[v] as usize
+    }
+
+    /// Total entries in the index, sentinels included (diagnostics).
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Locate `target` in `v`'s augmented list from scratch: the first
+    /// position with key ≥ `target`.  Charges the standard
+    /// `⌈log₂ max(ℓ, 2)⌉` probe reads of a packed-run search plus one read
+    /// to load the result entry (establishing the in-hand invariant of the
+    /// module docs) — paid **once per query**, at the root.
+    #[inline]
+    pub fn start(&self, v: usize, target: &K) -> u32 {
+        let o = self.off[v] as usize;
+        let ell = self.alen[v] as usize;
+        record_reads(log2_ceil(ell.max(2)) + 1);
+        branchless_partition_point(&self.entries[o..o + ell], |e| e.key < *target) as u32
+    }
+
+    /// Re-locate `target` in `child`'s augmented list given its position
+    /// `p` in `v`'s: follow the in-hand entry's bridge (free — module
+    /// docs), probe the entry just before it, and walk back one position if
+    /// that entry's key is still ≥ `target`.  The sampling density makes
+    /// the single probe exhaustive (overshoot ≤ 1, asserted below), so the
+    /// hop charges 1 read when the walk-back is taken (the probe *is* the
+    /// result entry) and 2 when it is not (probe + result load) — `O(1)`
+    /// per child against the flat search's `⌈log₂ m⌉`, with the result
+    /// entry in hand either way.
+    #[inline]
+    pub fn bridge(&self, v: usize, p: u32, child: usize, right: bool, target: &K) -> u32 {
+        let e = &self.entries[self.off[v] as usize + p as usize];
+        let q = if right { e.br } else { e.bl };
+        let co = self.off[child] as usize;
+        if q > 0 {
+            record_read();
+            if self.entries[co + q as usize - 1].key >= *target {
+                debug_assert!(
+                    q < 2 || self.entries[co + q as usize - 2].key < *target,
+                    "sampling density must bound the bridge overshoot by 1"
+                );
+                return q - 1;
+            }
+        }
+        record_read();
+        q
+    }
+
+    /// Number of own-catalog entries of `v` with key < the key located at
+    /// position `p` — i.e. the exact catalog scan start for the query that
+    /// located `p`.  Free: `p` came from a locate, so its entry is charged
+    /// and in hand (module docs).
+    #[inline]
+    pub fn catalog_start(&self, v: usize, p: u32) -> u32 {
+        self.entries[self.off[v] as usize + p as usize].cat
+    }
+
+    /// Issue a hardware prefetch for the entries a later
+    /// [`CascadeIndex::bridge`]`(v, p, child, right, _)` call will probe.
+    /// The bridge target is computable from the in-hand entry alone, so the
+    /// dependent scattered load can start while the caller is still doing
+    /// split-key work.  Pure machine hint: no counter traffic, no effect on
+    /// results ([`crate::search::prefetch_read`] discipline).
+    #[inline]
+    pub fn prefetch_bridge(&self, v: usize, p: u32, child: usize, right: bool) {
+        if !self.is_indexed(child) {
+            return;
+        }
+        let e = &self.entries[self.off[v] as usize + p as usize];
+        let q = if right { e.br } else { e.bl };
+        let at = self.off[child] as usize + (q.saturating_sub(1)) as usize;
+        prefetch_read(&self.entries[at] as *const CascadeEntry<K>);
+    }
+}
+
+/// Closure bundle of the fill recursion (keeps [`CascadeIndex::fill_rec`]'s
+/// signature readable).
+struct FillCtx<'a, C, CL, CK> {
+    children: &'a C,
+    cat_len: &'a CL,
+    cat_key: &'a CK,
+    alen: &'a [u32],
+    total: &'a [usize],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwe_asym::counters::CounterSnapshot;
+
+    /// A complete binary tree over slots 0..n in heap order, catalogs
+    /// `cats[v]` (sorted).
+    fn heap_children(n: usize) -> impl Fn(usize) -> (usize, usize) {
+        move |v| {
+            let (l, r) = (2 * v + 1, 2 * v + 2);
+            (
+                if l < n { l } else { usize::MAX },
+                if r < n { r } else { usize::MAX },
+            )
+        }
+    }
+
+    fn build_over(cats: &[Vec<u64>]) -> CascadeIndex<u64> {
+        let n = cats.len();
+        CascadeIndex::build(
+            n,
+            0,
+            heap_children(n),
+            |v| cats[v].len(),
+            |v, i| cats[v][i],
+            0,
+        )
+    }
+
+    /// Reference augmented list of node v (keys only).
+    fn ref_list(cats: &[Vec<u64>], v: usize) -> Vec<u64> {
+        let n = cats.len();
+        let mut keys = cats[v].clone();
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                let child = ref_list(cats, c);
+                keys.extend(child.iter().skip(1).step_by(2));
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn demo_cats() -> Vec<Vec<u64>> {
+        // 7 nodes; node 3 has an empty catalog (a "secondary" node).
+        vec![
+            vec![10, 20, 30, 40, 50, 60, 70],
+            vec![10, 30, 50, 70],
+            vec![20, 40, 60],
+            vec![],
+            vec![30, 70],
+            vec![20, 60],
+            vec![40],
+        ]
+    }
+
+    #[test]
+    fn lists_match_reference_merge() {
+        let cats = demo_cats();
+        let idx = build_over(&cats);
+        for v in 0..cats.len() {
+            assert_eq!(idx.list_len(v), ref_list(&cats, v).len(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn start_and_bridge_locate_exact_partition_points() {
+        let cats = demo_cats();
+        let idx = build_over(&cats);
+        let kids = heap_children(cats.len());
+        for target in 0..=80u64 {
+            // Root locate is the exact partition point of the merged list.
+            let root_list = ref_list(&cats, 0);
+            let p = idx.start(0, &target);
+            assert_eq!(
+                p as usize,
+                root_list.partition_point(|&k| k < target),
+                "root target={target}"
+            );
+            // Every bridge hop reproduces the child's exact partition
+            // point, all the way down.
+            let mut stack = vec![(0usize, p)];
+            while let Some((v, p)) = stack.pop() {
+                let cat = idx.catalog_start(v, p);
+                assert_eq!(
+                    cat as usize,
+                    cats[v].partition_point(|&k| k < target),
+                    "catalog start at node {v}, target={target}"
+                );
+                let (l, r) = kids(v);
+                for (c, right) in [(l, false), (r, true)] {
+                    if c == usize::MAX {
+                        continue;
+                    }
+                    let q = idx.bridge(v, p, c, right, &target);
+                    assert_eq!(
+                        q as usize,
+                        ref_list(&cats, c).partition_point(|&k| k < target),
+                        "bridge {v}->{c} target={target}"
+                    );
+                    stack.push((c, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_charges_constant_reads() {
+        let cats = demo_cats();
+        let idx = build_over(&cats);
+        for target in 0..=80u64 {
+            let p = idx.start(0, &target);
+            let before = CounterSnapshot::now();
+            let _ = idx.bridge(0, p, 1, false, &target);
+            let (reads, _) = CounterSnapshot::now().since(&before);
+            assert!(
+                reads <= 2,
+                "bridge must cost ≤ 2 reads (probe + at most one result load), got {reads}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_random_tree_locates_exactly() {
+        // Deterministic pseudo-random catalogs over a deeper heap tree.
+        let n = 127usize;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut cats: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let len = if v % 5 == 3 { 0 } else { (v * 7) % 23 + 1 };
+            let mut cat: Vec<u64> = (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state % 10_000
+                })
+                .collect();
+            cat.sort_unstable();
+            cat.dedup();
+            cats.push(cat);
+        }
+        let idx = build_over(&cats);
+        let kids = heap_children(n);
+        for target in (0..10_000u64).step_by(197) {
+            let mut stack = vec![(0usize, idx.start(0, &target))];
+            while let Some((v, p)) = stack.pop() {
+                assert_eq!(
+                    idx.catalog_start(v, p) as usize,
+                    cats[v].partition_point(|&k| k < target),
+                    "node {v} target={target}"
+                );
+                let (l, r) = kids(v);
+                for (c, right) in [(l, false), (r, true)] {
+                    if c != usize::MAX {
+                        stack.push((c, idx.bridge(v, p, c, right, &target)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_leaf_only() {
+        let idx: CascadeIndex<u64> = CascadeIndex::build(
+            0,
+            usize::MAX,
+            |_| (usize::MAX, usize::MAX),
+            |_| 0,
+            |_, _| 0,
+            0,
+        );
+        assert_eq!(idx.total_entries(), 0);
+        assert!(!idx.is_indexed(0));
+        let idx = CascadeIndex::build(
+            1,
+            0,
+            |_| (usize::MAX, usize::MAX),
+            |_| 3usize,
+            |_, i| i as u64 * 10,
+            0,
+        );
+        assert!(idx.is_indexed(0));
+        assert_eq!(idx.list_len(0), 3);
+        assert_eq!(idx.start(0, &15), 2);
+        assert_eq!(idx.catalog_start(0, 2), 2);
+    }
+}

@@ -33,7 +33,13 @@
 //!   branchless, prefetching binary search every packed-run lookup goes
 //!   through.  Wall-clock machinery only: counters, digests and answers
 //!   are unchanged (MODEL.md §5).
+//! * [`cascade`] — fractional cascading (Chazelle–Guibas) over per-node
+//!   sorted catalogs: a derived [`cascade::CascadeIndex`] overlay that
+//!   replaces the per-node binary searches of a tree descent with one root
+//!   search plus `O(1)` charged bridge hops per child (MODEL.md §5,
+//!   "Fractional cascading").
 
+pub mod cascade;
 pub mod hash;
 pub mod layout;
 pub mod merge;
@@ -46,6 +52,7 @@ pub mod search;
 pub mod semisort;
 pub mod tournament;
 
+pub use cascade::{CascadeEntry, CascadeIndex};
 pub use hash::{DetHashMap, DetHashSet, DetState};
 pub use layout::{BlockedNode, BlockedTree, NO_NODE};
 pub use pack::{pack_flagged, pack_indices};
