@@ -1,0 +1,361 @@
+//! Epoch-based generation cells: the snapshot mechanism of the serving
+//! layer (`pwe_service`).
+//!
+//! An [`EpochCell`] holds one *published generation* — an immutable value
+//! behind an atomic pointer.  Readers [`pin`](EpochCell::pin) the cell and
+//! receive a guard that dereferences to the generation current at pin time;
+//! while any guard that might still observe an old generation is alive, that
+//! generation is not freed.  A writer [`publish`](EpochCell::publish)es a
+//! new generation by swapping the pointer; the old generation is *retired*
+//! and reclaimed once every pinned reader has moved past it.  Readers never
+//! block on a publish and a publish never blocks on readers: the swap is one
+//! atomic store, reclamation is deferred.
+//!
+//! # Reclamation protocol
+//!
+//! The cell keeps a global epoch counter and a fixed array of reader slots.
+//!
+//! * **pin**: acquire a free slot, *announce* the current global epoch `e`
+//!   in it, then load the generation pointer.  All four operations are
+//!   `SeqCst`.
+//! * **publish**: swap the pointer, then advance the global epoch with
+//!   `fetch_add` — the returned (pre-increment) value `r` is the retire
+//!   epoch of the old generation — and push the old pointer on the retired
+//!   list.
+//! * **reclaim** (inside publish, and on drop): a retired generation with
+//!   retire epoch `r` is freed once every announced epoch is `> r`.
+//!
+//! Safety argument, in the `SeqCst` total order: a reader whose announced
+//! epoch is `> r` must have read the global epoch *after* the writer's
+//! `fetch_add`, which follows the pointer swap — so its subsequent pointer
+//! load saw the new generation and it cannot hold the retired one.  A
+//! reader that *could* hold the retired generation announced an epoch
+//! `≤ r` before loading the pointer, and that announcement blocks
+//! reclamation until the guard drops.  Conservative by at most one
+//! generation per reader, never unsafe.
+//!
+//! # Single-writer discipline (racecheck)
+//!
+//! The cell tolerates concurrent publishers memory-safety-wise (swap and
+//! `fetch_add` are atomic), but generation *contents* built by two
+//! logically concurrent writers would depend on the schedule — exactly the
+//! nondeterminism this workspace bans.  Under the `racecheck` feature every
+//! publish claims the same one-element logical region in a cell-private
+//! space, so publishes from the two arms of one `join` panic with both
+//! provenances (see [`crate::racecheck`]); publishes from one task lineage
+//! (e.g. serialized behind `pwe_service`'s writer lock) are sequentially
+//! ordered and stay silent.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use crate::racecheck;
+
+/// Announced-epoch value meaning "slot not pinned".
+const QUIESCENT: u64 = u64::MAX;
+
+/// Maximum number of concurrently pinned guards.  Pins are per *guard*, not
+/// per thread; the serving layer holds one guard per in-flight batch, so
+/// this comfortably exceeds any realistic pool width.  [`EpochCell::pin`]
+/// panics (rather than spinning) when exhausted — a bounded-slot scan keeps
+/// the read path allocation-free and O(readers).
+pub const MAX_PINS: usize = 64;
+
+/// One reader slot: the announced epoch plus an ownership flag, padded to a
+/// cache line so concurrent pinners do not false-share.
+#[repr(align(64))]
+struct Slot {
+    /// Epoch announced by the owning guard; [`QUIESCENT`] when free.
+    epoch: AtomicU64,
+    /// Whether a guard currently owns the slot.
+    busy: AtomicBool,
+}
+
+/// A retired generation: the raw pointer and the epoch at which it was
+/// unpublished.
+struct Retired<T> {
+    ptr: *mut T,
+    retire_epoch: u64,
+}
+
+// SAFETY: a Retired<T> is an owned Box<T> in disguise (created by
+// Box::into_raw in publish, consumed by Box::from_raw in reclaim); moving
+// it between threads moves the owned T, which requires exactly T: Send.
+unsafe impl<T: Send> Send for Retired<T> {}
+
+/// An epoch-reclaimed single-value cell: one published immutable
+/// generation, non-blocking pinned readers, deferred reclamation.
+///
+/// ```
+/// use pwe_primitives::epoch::EpochCell;
+///
+/// let cell = EpochCell::new(vec![1u64, 2, 3]);
+/// let pinned = cell.pin();
+/// cell.publish(vec![4, 5, 6]); // readers of the old generation proceed
+/// assert_eq!(pinned[0], 1); // the pinned snapshot is unchanged
+/// drop(pinned);
+/// assert_eq!(cell.pin()[0], 4); // a fresh pin sees the new generation
+/// ```
+pub struct EpochCell<T: Send + Sync> {
+    /// The published generation.
+    current: AtomicPtr<T>,
+    /// Global epoch: advanced once per publish.
+    global_epoch: AtomicU64,
+    /// Reader announcement slots.
+    slots: Box<[Slot]>,
+    /// Unpublished generations not yet proven unreachable.
+    retired: Mutex<Vec<Retired<T>>>,
+    /// Cell-private racecheck space for the single-writer claim.
+    claim_space: u64,
+}
+
+// SAFETY: the retired list owns T values (Send moves them with the cell)
+// and pinned guards hand out &T across the pinning thread's fork-joins
+// (requires Sync).  AtomicPtr/AtomicU64/Mutex provide the synchronization;
+// the reclamation protocol (module docs) guarantees no &T outlives its
+// generation's free.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+// SAFETY: see the Send impl above; shared access only ever yields &T plus
+// atomics, and every mutation of the retired list is behind the Mutex.
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+/// RAII pin on an [`EpochCell`]: dereferences to the generation that was
+/// current when [`EpochCell::pin`] ran.  The generation stays alive (and
+/// bit-identical) until the guard drops, regardless of how many newer
+/// generations are published meanwhile.  Not `Send`: a guard is released on
+/// the thread that pinned it; the `&T` it yields may be shared freely with
+/// scoped tasks (fork-joins) that finish before the guard drops.
+pub struct EpochGuard<'a, T: Send + Sync> {
+    cell: &'a EpochCell<T>,
+    slot: usize,
+    ptr: *const T,
+}
+
+impl<T: Send + Sync> EpochCell<T> {
+    /// Create a cell publishing `initial` as generation zero.
+    pub fn new(initial: T) -> Self {
+        let mut slots = Vec::with_capacity(MAX_PINS);
+        for _ in 0..MAX_PINS {
+            slots.push(Slot {
+                epoch: AtomicU64::new(QUIESCENT),
+                busy: AtomicBool::new(false),
+            });
+        }
+        EpochCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(initial))),
+            global_epoch: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+            retired: Mutex::new(Vec::new()),
+            claim_space: racecheck::fresh_space(),
+        }
+    }
+
+    /// Pin the current generation.  Non-blocking with respect to writers;
+    /// panics if more than [`MAX_PINS`] guards are alive at once.
+    pub fn pin(&self) -> EpochGuard<'_, T> {
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.busy.compare_exchange(false, true, SeqCst, SeqCst).is_ok())
+            .unwrap_or_else(|| {
+                panic!("EpochCell::pin: more than {MAX_PINS} concurrently pinned guards")
+            });
+        // Announce before loading the pointer — the order the reclamation
+        // protocol's safety argument (module docs) depends on.
+        let e = self.global_epoch.load(SeqCst);
+        self.slots[slot].epoch.store(e, SeqCst);
+        let ptr = self.current.load(SeqCst);
+        EpochGuard {
+            cell: self,
+            slot,
+            ptr,
+        }
+    }
+
+    /// Publish `value` as the next generation and retire the previous one.
+    /// Readers pinned to older generations proceed undisturbed; their
+    /// generations are reclaimed when the last such guard drops (the next
+    /// publish, or the cell's drop, performs the actual free).
+    pub fn publish(&self, value: T) {
+        // Enforce the single-writer discipline under racecheck: all
+        // publishes claim the same logical cell [0,1), so two publishes
+        // from concurrent task lineages panic with both provenances.
+        let _claim = racecheck::claim_range(self.claim_space, 0, 1, "epoch::publish");
+        let new_ptr = Box::into_raw(Box::new(value));
+        let old = self.current.swap(new_ptr, SeqCst);
+        let retire_epoch = self.global_epoch.fetch_add(1, SeqCst);
+        let mut retired = self.retired.lock().unwrap();
+        retired.push(Retired {
+            ptr: old,
+            retire_epoch,
+        });
+        self.reclaim_locked(&mut retired);
+    }
+
+    /// Number of retired-but-not-yet-freed generations (test observability).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+
+    /// Free every retired generation no pinned reader can still observe.
+    fn reclaim_locked(&self, retired: &mut Vec<Retired<T>>) {
+        let min_announced = self
+            .slots
+            .iter()
+            .map(|s| s.epoch.load(SeqCst))
+            .min()
+            .unwrap_or(QUIESCENT);
+        retired.retain(|r| {
+            if r.retire_epoch < min_announced {
+                // SAFETY: the pointer came from Box::into_raw in publish
+                // and is freed exactly once (retain removes it).  Every
+                // reader announced an epoch > retire_epoch, so (module
+                // docs) each one's pointer load followed the swap that
+                // unpublished this generation: no &T into it exists.
+                unsafe { drop(Box::from_raw(r.ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl<T: Send + Sync> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // &mut self: no guards are alive (they borrow the cell), so both
+        // the current generation and everything retired are unreachable.
+        let current = *self.current.get_mut();
+        // SAFETY: created by Box::into_raw (new or publish), never freed —
+        // reclaim only frees retired pointers, and this one is current.
+        unsafe { drop(Box::from_raw(current)) };
+        for r in self.retired.get_mut().unwrap().drain(..) {
+            // SAFETY: retired pointers are owned by the list and freed
+            // exactly once; no guard outlives the cell.
+            unsafe { drop(Box::from_raw(r.ptr)) };
+        }
+    }
+}
+
+impl<T: Send + Sync> std::ops::Deref for EpochGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: self.ptr was the published generation at pin time and the
+        // slot's announced epoch has blocked its reclamation ever since
+        // (reclaim_locked requires every announced epoch to exceed the
+        // retire epoch; ours cannot, by the module-docs ordering argument).
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T: Send + Sync> Drop for EpochGuard<'_, T> {
+    fn drop(&mut self) {
+        let slot = &self.cell.slots[self.slot];
+        slot.epoch.store(QUIESCENT, SeqCst);
+        slot.busy.store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    /// A generation payload whose drop is observable.
+    struct Tracked {
+        value: u64,
+        drops: Arc<StdAtomicU64>,
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn publish_is_visible_to_fresh_pins() {
+        let cell = EpochCell::new(1u64);
+        assert_eq!(*cell.pin(), 1);
+        cell.publish(2);
+        assert_eq!(*cell.pin(), 2);
+    }
+
+    #[test]
+    fn pinned_guard_keeps_generation_alive() {
+        let drops = Arc::new(StdAtomicU64::new(0));
+        let cell = EpochCell::new(Tracked {
+            value: 1,
+            drops: Arc::clone(&drops),
+        });
+        let pinned = cell.pin();
+        cell.publish(Tracked {
+            value: 2,
+            drops: Arc::clone(&drops),
+        });
+        // Generation 1 is retired but still observable through the guard.
+        assert_eq!(pinned.value, 1);
+        assert_eq!(drops.load(SeqCst), 0);
+        assert_eq!(cell.retired_len(), 1);
+        drop(pinned);
+        // The next publish reclaims it.
+        cell.publish(Tracked {
+            value: 3,
+            drops: Arc::clone(&drops),
+        });
+        assert_eq!(drops.load(SeqCst), 2); // generations 1 and 2
+        drop(cell);
+        assert_eq!(drops.load(SeqCst), 3);
+    }
+
+    #[test]
+    fn unpinned_publishes_do_not_accumulate() {
+        let cell = EpochCell::new(0u64);
+        for i in 1..100u64 {
+            cell.publish(i);
+            assert!(
+                cell.retired_len() <= 1,
+                "retired list grew without pinned readers"
+            );
+        }
+        assert_eq!(*cell.pin(), 99);
+    }
+
+    #[test]
+    fn reads_are_snapshots_under_concurrent_publishes() {
+        // One writer arm publishes increasing generations while the reader
+        // arm repeatedly pins and checks each snapshot for internal
+        // consistency (both halves of the pair equal) and monotonicity.
+        // At RAYON_NUM_THREADS=1 join runs the arms back-to-back and the
+        // reader sees only the final generation — still a valid snapshot.
+        let cell = EpochCell::new((0u64, 0u64));
+        let publishes = 200u64;
+        rayon::join(
+            || {
+                for i in 1..=publishes {
+                    cell.publish((i, i));
+                }
+            },
+            || {
+                let mut last = 0u64;
+                for _ in 0..publishes {
+                    let pinned = cell.pin();
+                    let (a, b) = *pinned;
+                    assert_eq!(a, b, "torn generation observed");
+                    assert!(a >= last, "generation went backwards: {a} < {last}");
+                    last = a;
+                }
+            },
+        );
+        assert_eq!(*cell.pin(), (publishes, publishes));
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrently pinned guards")]
+    fn pin_exhaustion_panics() {
+        let cell = EpochCell::new(0u64);
+        let _guards: Vec<_> = (0..=MAX_PINS).map(|_| cell.pin()).collect();
+    }
+}

@@ -38,8 +38,14 @@
 //!   replaces the per-node binary searches of a tree descent with one root
 //!   search plus `O(1)` charged bridge hops per child (MODEL.md §5,
 //!   "Fractional cascading").
+//! * [`epoch`] — epoch-reclaimed generation cells ([`epoch::EpochCell`]):
+//!   the snapshot mechanism of the serving layer.  Readers pin a published
+//!   generation without blocking; writers swap in the next generation
+//!   atomically and old generations are freed once no pinned reader can
+//!   still observe them (MODEL.md §6).
 
 pub mod cascade;
+pub mod epoch;
 pub mod hash;
 pub mod layout;
 pub mod merge;
@@ -53,6 +59,7 @@ pub mod semisort;
 pub mod tournament;
 
 pub use cascade::{CascadeEntry, CascadeIndex};
+pub use epoch::{EpochCell, EpochGuard};
 pub use hash::{DetHashMap, DetHashSet, DetState};
 pub use layout::{BlockedNode, BlockedTree, NO_NODE};
 pub use pack::{pack_flagged, pack_indices};

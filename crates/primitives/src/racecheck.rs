@@ -117,6 +117,19 @@ mod imp {
 #[must_use = "bind the claim so it spans the region-touching code"]
 pub struct RegionClaim(());
 
+/// True when the sanitizer is compiled in.  Callers whose *own* safe
+/// fork pattern is incompatible with retained address-space claims
+/// (e.g. running two whole engine builds as join siblings, where the
+/// allocator may recycle one build's claimed scratch addresses for the
+/// other's) branch on this to order such forks — keying off THIS
+/// crate's feature, because feature unification can arm the ledger for
+/// the whole workspace regardless of the caller's own feature set.
+#[cfg(feature = "racecheck")]
+pub const ENABLED: bool = true;
+/// See the `racecheck`-enabled doc.
+#[cfg(not(feature = "racecheck"))]
+pub const ENABLED: bool = false;
+
 /// Claim the byte range covered by `slice` in the shared address space
 /// and panic if a logically concurrent task already claimed an
 /// overlapping range.  No-op without the `racecheck` feature.

@@ -1,0 +1,131 @@
+//! The batched wire types of the service: updates in, queries in, answers
+//! out.
+//!
+//! Answers are **canonical**: id lists are sorted ascending, nearest
+//! neighbours are tie-broken by `(distance², id)` and located triangles are
+//! reported as their sorted site-id triple.  Canonical answers are what
+//! makes sharding an implementation detail — merging per-shard partial
+//! answers re-canonicalizes, so a sharded service and a single-instance
+//! oracle produce bit-equal [`AnswerBatch`]es (the `shard_equiv` suite
+//! pins this for shard counts {1, 3, 8}).
+
+use pwe_geom::bbox::Rect;
+use pwe_geom::interval::Interval;
+use pwe_geom::point::GridPoint;
+
+/// Sentinel site id for a ghost (bounding-triangle) vertex in a
+/// [`Answer::Located`] triple.
+pub const GHOST_SITE: u64 = u64::MAX;
+
+/// One element mutation.  Ids name elements for deletion and in answers;
+/// callers keep them unique per element family (interval / point / site).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Insert a closed interval (stabbing workload).
+    InsertInterval(Interval),
+    /// Delete the interval with this id.
+    DeleteInterval(u64),
+    /// Insert a 2D point (range / 3-sided / nearest-neighbour workloads).
+    InsertPoint {
+        /// x coordinate.
+        x: f64,
+        /// y coordinate.
+        y: f64,
+        /// Unique point id.
+        id: u64,
+    },
+    /// Delete the point with this id.
+    DeletePoint(u64),
+    /// Insert a Delaunay site (point-location workload).  Sites are
+    /// insert-only; their id is their insertion rank (0, 1, …) across the
+    /// service's lifetime.
+    InsertSite(GridPoint),
+}
+
+/// A batch of updates: applied atomically — one new generation serves all
+/// of them or none.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    /// The mutations, applied in order.
+    pub updates: Vec<Update>,
+}
+
+/// One query against the pinned generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Report every interval containing `x` (closed).
+    Stab {
+        /// Query point.
+        x: f64,
+    },
+    /// Report every point inside the closed rectangle.
+    Range2D {
+        /// Query rectangle.
+        rect: Rect,
+    },
+    /// Report every point with `x ∈ [x_lo, x_hi]` and `y ≥ y_bot`.
+    ThreeSided {
+        /// Left x bound (inclusive).
+        x_lo: f64,
+        /// Right x bound (inclusive).
+        x_hi: f64,
+        /// Bottom y bound (inclusive).
+        y_bot: f64,
+    },
+    /// The nearest point to `(x, y)`, ties broken by smallest id.
+    Nearest {
+        /// Query x.
+        x: f64,
+        /// Query y.
+        y: f64,
+    },
+    /// The Delaunay triangle containing the grid point, as its sorted site
+    /// ids ([`GHOST_SITE`] marks bounding-triangle vertices).
+    Locate {
+        /// Query x (grid coordinate).
+        x: i64,
+        /// Query y (grid coordinate).
+        y: i64,
+    },
+}
+
+/// A batch of queries, answered together from one pinned generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBatch {
+    /// The queries; answers come back in the same order.
+    pub queries: Vec<Query>,
+}
+
+/// The nearest-neighbour hit: squared distance plus the canonical
+/// (smallest) id among the points achieving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearestHit {
+    /// Squared euclidean distance to the query.
+    pub dist2: f64,
+    /// Smallest id among the points at that distance.
+    pub id: u64,
+}
+
+/// One canonical answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Element ids, sorted ascending (stab / range / 3-sided).
+    Ids(Vec<u64>),
+    /// The canonical nearest point, `None` when the generation holds no
+    /// points.
+    Nearest(Option<NearestHit>),
+    /// The sorted site-id triple of the smallest alive triangle containing
+    /// the query, `None` when no alive triangle strictly conflicts with it
+    /// (outside the bounding triangle, or exactly coincident with a site).
+    Located(Option<[u64; 3]>),
+}
+
+/// A batch of answers: every entry was computed against the single
+/// generation named by `gen_id` — the snapshot-isolation contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerBatch {
+    /// The generation every answer in this batch was served from.
+    pub gen_id: u64,
+    /// Answers, in query order.
+    pub answers: Vec<Answer>,
+}

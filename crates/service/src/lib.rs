@@ -1,0 +1,42 @@
+//! # pwe-service — geometry as a service
+//!
+//! A sharded, snapshot-isolated, batched query layer over the
+//! write-efficient structures of this workspace: interval stabbing, 2D
+//! range and 3-sided reporting, k-d nearest neighbour and Delaunay point
+//! location, served concurrently with batch updates.
+//!
+//! The serving model (MODEL.md §6) in one paragraph: readers pin an
+//! immutable *generation* through an epoch-reclaimed cell
+//! ([`pwe_primitives::epoch`]) and answer a whole [`api::QueryBatch`] from
+//! that one snapshot; the single writer rebuilds the dirtied shards through
+//! the deterministic parallel engines (the allocation-lean augmented-tree
+//! engine, the p-batched k-d construction, the reserve-and-commit Delaunay
+//! engine) and publishes the next generation with one atomic pointer swap.
+//! Readers never block on writers, writers never wait for readers, and
+//! retired generations are reclaimed once the last reader pinning them
+//! moves on.  Because every build is a pure function of the element
+//! sequence, generations are bit-identical across thread counts, processes
+//! and replicas — which is what makes the answers of a sharded deployment
+//! provably equal to a single-instance oracle (the `shard_equiv` suite)
+//! and a concurrent history checkable against a sequential replay (the
+//! `churn` suite).
+//!
+//! * [`api`] — the batched wire types: [`api::UpdateBatch`] in,
+//!   [`api::QueryBatch`] → [`api::AnswerBatch`] out (answers carry the
+//!   generation they were served from).
+//! * [`router`] — the deterministic shard router (hash-partitioned
+//!   intervals and points, replicated Delaunay sites).
+//! * [`gen`] — generation building through the existing engines.
+//! * [`service`] — [`GeometryService`]: `apply` / `serve`.
+//!
+//! The load driver lives in `pwe-bench` (`speedup --serve`), reporting
+//! throughput and p50/p99 batch latency into `BENCH_service.json`.
+
+pub mod api;
+pub mod gen;
+pub mod router;
+pub mod service;
+
+pub use api::{Answer, AnswerBatch, NearestHit, Query, QueryBatch, Update, UpdateBatch};
+pub use router::ShardRouter;
+pub use service::GeometryService;

@@ -1,0 +1,92 @@
+//! The deterministic shard router.
+//!
+//! Elements are partitioned across shards by a fixed multiplicative hash of
+//! their id — no `RandomState`, no per-process seeding, so a given
+//! `(id, shard_count)` pair routes identically in every process and on
+//! every thread count.  Queries are *broadcast*: every query kind is a
+//! spatial predicate that may match elements in any shard, so the serving
+//! layer asks all shards and canonically merges the partial answers
+//! (sorting ids, minimizing `(dist², id)`).
+//!
+//! Delaunay sites are the exception: a triangulation does not decompose
+//! under keyspace partition (a shard-local triangle says nothing about the
+//! full mesh), so the site set is *replicated* — one mesh generation per
+//! [`ServiceGen`](crate::gen::ServiceGen), shared by every shard.  The
+//! deterministic engine makes replication exact: any two replicas built
+//! from the same site sequence are bit-identical, so point-location answers
+//! cannot depend on which replica serves them (MODEL.md §6).
+
+/// Fixed odd multiplier (the splitmix64 increment) for id hashing.
+const ROUTE_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic id → shard router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Create a router over `shards ≥ 1` shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a service needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning element `id`: a fixed multiplicative hash, mixed
+    /// down to the top bits (the low bits of `id * odd` alone are too
+    /// regular for sequential ids), then reduced mod the shard count.
+    #[inline]
+    pub fn shard_of(&self, id: u64) -> usize {
+        let mut h = id.wrapping_mul(ROUTE_MULT);
+        h ^= h >> 29;
+        h = h.wrapping_mul(ROUTE_MULT);
+        h ^= h >> 32;
+        (h % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let r = ShardRouter::new(3);
+        for id in 0..1000u64 {
+            let s = r.shard_of(id);
+            assert!(s < 3);
+            assert_eq!(s, r.shard_of(id), "routing must be a pure function");
+        }
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        assert!((0..100u64).all(|id| r.shard_of(id) == 0));
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced() {
+        let r = ShardRouter::new(8);
+        let mut counts = [0usize; 8];
+        for id in 0..8000u64 {
+            counts[r.shard_of(id)] += 1;
+        }
+        for &c in &counts {
+            // Expected 1000 per shard; a fixed mix that left any shard
+            // under half or over double would be a routing bug.
+            assert!((500..2000).contains(&c), "unbalanced shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardRouter::new(0);
+    }
+}

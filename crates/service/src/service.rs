@@ -1,0 +1,291 @@
+//! The serving layer: snapshot-isolated reads over atomically published
+//! generations.
+//!
+//! One [`GeometryService`] owns an [`EpochCell`] holding the current
+//! [`ServiceGen`].  Readers ([`GeometryService::serve`]) pin the cell once
+//! per query batch and answer every query in the batch from that single
+//! pinned generation — the snapshot-isolation contract: no batch ever
+//! observes half of an update.  The writer ([`GeometryService::apply`])
+//! owns the authoritative element sets behind a mutex, rebuilds exactly the
+//! shards an update batch dirtied (sharing the untouched ones with the
+//! previous generation) and publishes the result with one atomic swap.
+//! Readers never block on a publish; generations a pinned reader can still
+//! observe are reclaimed only after its guard drops (see
+//! [`pwe_primitives::epoch`]).
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use pwe_geom::point::GridPoint;
+use pwe_primitives::epoch::EpochCell;
+use pwe_primitives::racecheck;
+use std::sync::Arc;
+
+use crate::api::{Answer, AnswerBatch, NearestHit, Query, QueryBatch, Update, UpdateBatch};
+use crate::gen::{MeshGen, ServiceGen, ShardData, ShardGen};
+use crate::router::ShardRouter;
+
+/// Query batches below this size are answered inline; larger ones fan the
+/// per-query work out over the pool.
+const PAR_QUERY_CUTOFF: usize = 8;
+
+/// The writer-owned authoritative state.
+struct WriterState {
+    /// Per-shard element sets.
+    shards: Vec<ShardData>,
+    /// The replicated site sequence, in insertion order.
+    sites: Vec<GridPoint>,
+    /// External ids of `sites` (insertion ranks).
+    site_ids: Vec<u64>,
+    /// Id the next published generation receives.
+    next_gen: u64,
+}
+
+/// A sharded, snapshot-isolated geometry service over the five query kinds
+/// (stab / 2D range / 3-sided / nearest / point-location).
+///
+/// ```
+/// use pwe_service::api::{Query, QueryBatch, Update, UpdateBatch};
+/// use pwe_service::GeometryService;
+/// use pwe_geom::interval::Interval;
+///
+/// let svc = GeometryService::new(4);
+/// svc.apply(&UpdateBatch {
+///     updates: vec![Update::InsertInterval(Interval::new(0.0, 2.0, 9))],
+/// });
+/// let out = svc.serve(&QueryBatch {
+///     queries: vec![Query::Stab { x: 1.0 }],
+/// });
+/// assert_eq!(out.gen_id, 1);
+/// ```
+pub struct GeometryService {
+    router: ShardRouter,
+    cell: EpochCell<ServiceGen>,
+    writer: Mutex<WriterState>,
+}
+
+impl GeometryService {
+    /// Create an empty service over `shards ≥ 1` shards; generation 0 is
+    /// the empty generation.
+    pub fn new(shards: usize) -> Self {
+        let router = ShardRouter::new(shards);
+        let empty_shard = Arc::new(ShardGen::build(&ShardData::default()));
+        let initial = ServiceGen {
+            gen_id: 0,
+            shards: vec![Arc::clone(&empty_shard); shards],
+            mesh: Arc::new(MeshGen::build(&[], &[])),
+        };
+        GeometryService {
+            router,
+            cell: EpochCell::new(initial),
+            writer: Mutex::new(WriterState {
+                shards: vec![ShardData::default(); shards],
+                sites: Vec::new(),
+                site_ids: Vec::new(),
+                next_gen: 1,
+            }),
+        }
+    }
+
+    /// Number of shards the keyspace is routed over.
+    pub fn num_shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The currently published generation id.
+    pub fn current_gen_id(&self) -> u64 {
+        self.cell.pin().gen_id
+    }
+
+    /// Fingerprint of the currently published generation (replay-equality
+    /// checks).
+    pub fn digest(&self) -> u64 {
+        self.cell.pin().digest()
+    }
+
+    /// Apply an update batch: mutate the authoritative element sets,
+    /// rebuild the dirtied shards through the engines (in parallel, with
+    /// racecheck claims on the disjoint output slots) and publish the next
+    /// generation.  Returns the published generation id.  Concurrent
+    /// readers keep serving the previous generation until the swap and are
+    /// never blocked by it.
+    ///
+    /// Single-writer discipline: concurrent `apply` calls from logically
+    /// concurrent tasks would make generation contents schedule-dependent;
+    /// under `racecheck` the epoch cell panics on exactly that (see
+    /// [`pwe_primitives::epoch`]).
+    pub fn apply(&self, batch: &UpdateBatch) -> u64 {
+        let mut w = self.writer.lock().unwrap();
+        let mut dirty = vec![false; self.router.shards()];
+        let mut sites_dirty = false;
+        for u in &batch.updates {
+            match *u {
+                Update::InsertInterval(iv) => {
+                    let s = self.router.shard_of(iv.id);
+                    w.shards[s].intervals.push(iv);
+                    dirty[s] = true;
+                }
+                Update::DeleteInterval(id) => {
+                    let s = self.router.shard_of(id);
+                    let ivs = &mut w.shards[s].intervals;
+                    let before = ivs.len();
+                    ivs.retain(|iv| iv.id != id);
+                    dirty[s] |= ivs.len() != before;
+                }
+                Update::InsertPoint { x, y, id } => {
+                    let s = self.router.shard_of(id);
+                    w.shards[s].points.push(crate::gen::rt_point(x, y, id));
+                    dirty[s] = true;
+                }
+                Update::DeletePoint(id) => {
+                    let s = self.router.shard_of(id);
+                    let pts = &mut w.shards[s].points;
+                    let before = pts.len();
+                    pts.retain(|p| p.id != id);
+                    dirty[s] |= pts.len() != before;
+                }
+                Update::InsertSite(p) => {
+                    let rank = w.site_ids.len() as u64;
+                    w.sites.push(p);
+                    w.site_ids.push(rank);
+                    sites_dirty = true;
+                }
+            }
+        }
+
+        // Share untouched shards with the previous generation, rebuild the
+        // dirty ones in parallel over disjoint slots.
+        let prev = self.cell.pin();
+        let mut built: Vec<(usize, Option<Arc<ShardGen>>)> = (0..self.router.shards())
+            .filter(|&i| dirty[i])
+            .map(|i| (i, None))
+            .collect();
+        rebuild_jobs(&w.shards, &mut built);
+        let mut shards: Vec<Arc<ShardGen>> = prev.shards.iter().map(Arc::clone).collect();
+        for (i, g) in built {
+            shards[i] = g.expect("every dirty slot rebuilt");
+        }
+        let mesh = if sites_dirty {
+            Arc::new(MeshGen::build(&w.sites, &w.site_ids))
+        } else {
+            Arc::clone(&prev.mesh)
+        };
+        drop(prev);
+
+        let gen_id = w.next_gen;
+        w.next_gen += 1;
+        self.cell.publish(ServiceGen {
+            gen_id,
+            shards,
+            mesh,
+        });
+        gen_id
+    }
+
+    /// Answer a query batch.  The whole batch is served from one pinned
+    /// generation — [`AnswerBatch::gen_id`] names it — and large batches
+    /// fan out over the pool.
+    pub fn serve(&self, batch: &QueryBatch) -> AnswerBatch {
+        let pinned = self.cell.pin();
+        let g: &ServiceGen = &pinned;
+        let answers: Vec<Answer> = if batch.queries.len() >= PAR_QUERY_CUTOFF {
+            batch.queries.par_iter().map(|q| answer_one(g, q)).collect()
+        } else {
+            batch.queries.iter().map(|q| answer_one(g, q)).collect()
+        };
+        AnswerBatch {
+            gen_id: g.gen_id,
+            answers,
+        }
+    }
+}
+
+/// Answer one query against one generation: broadcast to every shard and
+/// canonically merge (sort ids / minimize `(dist², id)`); point-location
+/// reads the replicated mesh.
+fn answer_one(g: &ServiceGen, q: &Query) -> Answer {
+    match *q {
+        Query::Stab { x } => {
+            let mut ids: Vec<u64> = g.shards.iter().flat_map(|s| s.stab(x)).collect();
+            ids.sort_unstable();
+            Answer::Ids(ids)
+        }
+        Query::Range2D { rect } => {
+            let mut ids: Vec<u64> = g.shards.iter().flat_map(|s| s.range2d(&rect)).collect();
+            ids.sort_unstable();
+            Answer::Ids(ids)
+        }
+        Query::ThreeSided { x_lo, x_hi, y_bot } => {
+            let mut ids: Vec<u64> = g
+                .shards
+                .iter()
+                .flat_map(|s| s.three_sided(x_lo, x_hi, y_bot))
+                .collect();
+            ids.sort_unstable();
+            Answer::Ids(ids)
+        }
+        Query::Nearest { x, y } => {
+            let best = g
+                .shards
+                .iter()
+                .filter_map(|s| s.nearest(x, y))
+                .min_by(cmp_hits);
+            Answer::Nearest(best)
+        }
+        Query::Locate { x, y } => Answer::Located(g.mesh.locate(GridPoint::new(x, y))),
+    }
+}
+
+/// Canonical nearest-hit order: squared distance, then id.  Distances are
+/// finite (no NaN: coordinates are finite and `dist2` is a sum of squares).
+fn cmp_hits(a: &NearestHit, b: &NearestHit) -> std::cmp::Ordering {
+    a.dist2
+        .partial_cmp(&b.dist2)
+        .expect("finite distances")
+        .then(a.id.cmp(&b.id))
+}
+
+/// Rebuild the dirtied shards over disjoint output slots: recursive binary
+/// fan-out, each arm claiming the slot region it owns (the racecheck
+/// pattern every engine fan-out in this workspace follows).
+///
+/// Under the `racecheck` feature the rebuilds are *ordered* instead of
+/// forked.  The address-space ledger retains claims after their guards
+/// drop (that is what makes detection schedule-independent), which assumes
+/// concurrent claimants carve up shared arenas; two label-concurrent
+/// engine builds instead allocate and free private scratch, so the
+/// allocator can hand the second build addresses the first already
+/// claimed — a by-design false positive.  Ordering the builds keeps their
+/// labels sequenced (overlap is then legal) while the slot claims and
+/// every engine-internal fan-out claim stay live.
+fn rebuild_jobs(data: &[ShardData], jobs: &mut [(usize, Option<Arc<ShardGen>>)]) {
+    // Keyed off the primitives feature (not this crate's): feature
+    // unification can arm the ledger workspace-wide.
+    if racecheck::ENABLED {
+        for (i, slot) in jobs.iter_mut() {
+            *slot = Some(Arc::new(ShardGen::build(&data[*i])));
+        }
+        return;
+    }
+    match jobs {
+        [] => {}
+        [(i, slot)] => {
+            *slot = Some(Arc::new(ShardGen::build(&data[*i])));
+        }
+        _ => {
+            let mid = jobs.len() / 2;
+            let (lo, hi) = jobs.split_at_mut(mid);
+            rayon::join(
+                || {
+                    let _claim = racecheck::claim_slice(&*lo, "service::rebuild_jobs/left");
+                    rebuild_jobs(data, lo)
+                },
+                || {
+                    let _claim = racecheck::claim_slice(&*hi, "service::rebuild_jobs/right");
+                    rebuild_jobs(data, hi)
+                },
+            );
+        }
+    }
+}

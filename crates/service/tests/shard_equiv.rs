@@ -1,0 +1,139 @@
+//! Shard-equivalence property suite: a sharded deployment must be
+//! *bit-equal* to a single unsharded oracle instance for every query kind.
+//!
+//! The same update history is applied to services with shard counts
+//! {1, 3, 8}; the 1-shard instance is the oracle.  Every [`AnswerBatch`]
+//! must then compare equal (`PartialEq`, i.e. bitwise on the f64 payloads)
+//! across shard counts: id lists are canonically sorted after the
+//! cross-shard merge, nearest hits are canonicalized to (dist², min id) so
+//! kd traversal order inside each shard cannot leak into the answer, and
+//! point location reads the replicated (bit-identical) mesh.  A second
+//! delete-heavy batch exercises the incremental path where only dirtied
+//! shards rebuild and clean shards are structurally shared with the
+//! previous generation.
+
+use proptest::prelude::*;
+
+use pwe_geom::bbox::Rect;
+use pwe_geom::interval::Interval;
+use pwe_geom::point::GridPoint;
+use pwe_service::api::{Query, QueryBatch, Update, UpdateBatch};
+use pwe_service::GeometryService;
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+
+/// Build one query of each kind family from raw integers, cycling kinds so
+/// the generated batch always covers all five.
+fn decode_query(kind: u8, a: i32, b: i32, c: i32) -> Query {
+    let lo = f64::from(a.min(b));
+    let hi = f64::from(a.max(b));
+    match kind % 5 {
+        0 => Query::Stab { x: f64::from(a) },
+        1 => Query::Range2D {
+            rect: Rect::new(lo, hi, f64::from(c.min(0)), f64::from(c.max(0))),
+        },
+        2 => Query::ThreeSided {
+            x_lo: lo,
+            x_hi: hi,
+            y_bot: f64::from(c),
+        },
+        3 => Query::Nearest {
+            x: f64::from(a),
+            y: f64::from(b),
+        },
+        _ => Query::Locate {
+            x: i64::from(a),
+            y: i64::from(b),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Sharded answers are bit-equal to the unsharded oracle, for all five
+    // query kinds, across insert-only and delete-heavy generations.
+    #[test]
+    fn prop_sharded_answers_equal_unsharded_oracle(
+        raw_ivs in proptest::collection::vec((0u64..40, -30i32..30, -30i32..30), 0..24),
+        raw_pts in proptest::collection::vec((0u64..40, -30i32..30, -30i32..30), 0..24),
+        raw_sites in proptest::collection::vec((-15i64..15, -15i64..15), 0..20),
+        delete_ids in proptest::collection::vec(0u64..40, 0..12),
+        raw_queries in proptest::collection::vec(
+            (0u8..5, -32i32..32, -32i32..32, -32i32..32),
+            1..24,
+        ),
+    ) {
+        // One insert batch covering all families (sites deduped: the
+        // Delaunay engine requires distinct sites).
+        let mut updates = Vec::new();
+        for &(id, a, b) in &raw_ivs {
+            updates.push(Update::InsertInterval(Interval::new(
+                f64::from(a.min(b)),
+                f64::from(a.max(b)),
+                id,
+            )));
+        }
+        for &(id, x, y) in &raw_pts {
+            updates.push(Update::InsertPoint {
+                x: f64::from(x),
+                y: f64::from(y),
+                id,
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &(x, y) in &raw_sites {
+            if seen.insert((x, y)) {
+                updates.push(Update::InsertSite(GridPoint::new(x, y)));
+            }
+        }
+        let insert_batch = UpdateBatch { updates };
+        // Second, delete-heavy batch: dirties only the shards routing the
+        // deleted ids, so untouched shards stay structurally shared.
+        let delete_batch = UpdateBatch {
+            updates: delete_ids
+                .iter()
+                .flat_map(|&id| [Update::DeleteInterval(id), Update::DeletePoint(id)])
+                .collect(),
+        };
+        let query_batch = QueryBatch {
+            queries: raw_queries
+                .iter()
+                .map(|&(k, a, b, c)| decode_query(k, a, b, c))
+                .collect(),
+        };
+
+        let services: Vec<GeometryService> =
+            SHARD_COUNTS.iter().map(|&s| GeometryService::new(s)).collect();
+
+        // Generation 1: inserts only.
+        for svc in &services {
+            svc.apply(&insert_batch);
+        }
+        let oracle_g1 = services[0].serve(&query_batch);
+        prop_assert_eq!(oracle_g1.gen_id, 1);
+        for (svc, &s) in services.iter().zip(&SHARD_COUNTS).skip(1) {
+            let got = svc.serve(&query_batch);
+            prop_assert!(
+                got == oracle_g1,
+                "gen 1: {} shards diverged from unsharded oracle: {:?} vs {:?}",
+                s, got, oracle_g1
+            );
+        }
+
+        // Generation 2: after deletes (partial rebuild path).
+        for svc in &services {
+            svc.apply(&delete_batch);
+        }
+        let oracle_g2 = services[0].serve(&query_batch);
+        prop_assert_eq!(oracle_g2.gen_id, 2);
+        for (svc, &s) in services.iter().zip(&SHARD_COUNTS).skip(1) {
+            let got = svc.serve(&query_batch);
+            prop_assert!(
+                got == oracle_g2,
+                "gen 2: {} shards diverged from unsharded oracle: {:?} vs {:?}",
+                s, got, oracle_g2
+            );
+        }
+    }
+}

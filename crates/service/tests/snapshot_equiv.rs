@@ -1,0 +1,265 @@
+//! Snapshot-isolation property suite: interleaved reader/writer schedules
+//! where every answer batch must be *exactly* consistent with one single
+//! published generation — no torn reads across a generation swap.
+//!
+//! The writer arm applies the generated update batches in order while the
+//! reader arm concurrently serves query batches; each [`AnswerBatch`]
+//! names the generation it was served from, and every answer in it is
+//! checked against an independent sequential model of exactly that
+//! generation's element sets (brute-force oracles for stab / range /
+//! 3-sided / nearest, the deterministic mesh build for point location).
+//! Any answer mixing two generations fails the per-generation check.  The
+//! CI matrix runs this file at `RAYON_NUM_THREADS ∈ {1, 4}`, with and
+//! without `racecheck`: at one thread the arms serialize (every batch then
+//! sees the final generation), at four they interleave for real.
+
+use proptest::prelude::*;
+
+use pwe_augtree::priority::{three_sided_bruteforce, PsPoint};
+use pwe_augtree::range_tree::{range_bruteforce, RtPoint};
+use pwe_geom::bbox::Rect;
+use pwe_geom::interval::{stab_bruteforce, Interval};
+use pwe_geom::point::{GridPoint, Point2};
+use pwe_service::api::{Answer, AnswerBatch, NearestHit, Query, QueryBatch, Update, UpdateBatch};
+use pwe_service::gen::MeshGen;
+use pwe_service::GeometryService;
+
+/// Sequential model of the service's element sets after k update batches.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    intervals: Vec<Interval>,
+    points: Vec<RtPoint>,
+    sites: Vec<GridPoint>,
+}
+
+impl Model {
+    fn apply(&mut self, batch: &UpdateBatch) {
+        for u in &batch.updates {
+            match *u {
+                Update::InsertInterval(iv) => self.intervals.push(iv),
+                Update::DeleteInterval(id) => self.intervals.retain(|iv| iv.id != id),
+                Update::InsertPoint { x, y, id } => self.points.push(RtPoint {
+                    point: Point2::xy(x, y),
+                    id,
+                }),
+                Update::DeletePoint(id) => self.points.retain(|p| p.id != id),
+                Update::InsertSite(p) => self.sites.push(p),
+            }
+        }
+    }
+
+    /// The canonical expected answer for `q` against this model state.
+    fn expect(&self, q: &Query) -> Answer {
+        match *q {
+            Query::Stab { x } => sorted_ids(stab_bruteforce(&self.intervals, x)),
+            Query::Range2D { rect } => sorted_ids(range_bruteforce(&self.points, &rect)),
+            Query::ThreeSided { x_lo, x_hi, y_bot } => {
+                let ps: Vec<PsPoint> = self
+                    .points
+                    .iter()
+                    .map(|p| PsPoint {
+                        point: p.point,
+                        id: p.id,
+                    })
+                    .collect();
+                sorted_ids(three_sided_bruteforce(&ps, x_lo, x_hi, y_bot))
+            }
+            Query::Nearest { x, y } => {
+                let q = Point2::xy(x, y);
+                let best = self
+                    .points
+                    .iter()
+                    .map(|p| (p.point.dist2(&q), p.id))
+                    .min_by(|a, b| {
+                        a.0.partial_cmp(&b.0)
+                            .expect("finite distances")
+                            .then(a.1.cmp(&b.1))
+                    });
+                Answer::Nearest(best.map(|(dist2, id)| NearestHit { dist2, id }))
+            }
+            Query::Locate { x, y } => {
+                let ids: Vec<u64> = (0..self.sites.len() as u64).collect();
+                let mesh = MeshGen::build(&self.sites, &ids);
+                Answer::Located(mesh.locate(GridPoint::new(x, y)))
+            }
+        }
+    }
+}
+
+fn sorted_ids(mut ids: Vec<u64>) -> Answer {
+    ids.sort_unstable();
+    Answer::Ids(ids)
+}
+
+/// Decode one raw generated update.  Kinds cycle through the five update
+/// variants; coordinates are small integers so deletions hit, ties happen
+/// and sites collide often enough to exercise the dedup below.
+fn decode_update(
+    kind: u8,
+    id: u64,
+    a: i32,
+    b: i32,
+    seen_sites: &mut std::collections::BTreeSet<(i64, i64)>,
+) -> Option<Update> {
+    match kind % 5 {
+        0 => {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Some(Update::InsertInterval(Interval::new(
+                f64::from(lo),
+                f64::from(hi),
+                id,
+            )))
+        }
+        1 => Some(Update::DeleteInterval(id)),
+        2 => Some(Update::InsertPoint {
+            x: f64::from(a),
+            y: f64::from(b),
+            id,
+        }),
+        3 => Some(Update::DeletePoint(id)),
+        _ => {
+            let site = (i64::from(a), i64::from(b));
+            // The Delaunay engine requires distinct sites; duplicates are
+            // dropped at generation time so the service and the model see
+            // the identical update sequence.
+            if seen_sites.insert(site) {
+                Some(Update::InsertSite(GridPoint::new(site.0, site.1)))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn decode_query(kind: u8, a: i32, b: i32, c: i32) -> Query {
+    match kind % 5 {
+        0 => Query::Stab { x: f64::from(a) },
+        1 => {
+            let (x_lo, x_hi) = if a <= b { (a, b) } else { (b, a) };
+            Query::Range2D {
+                rect: Rect::new(
+                    f64::from(x_lo),
+                    f64::from(x_hi),
+                    f64::from(c.min(0)),
+                    f64::from(c.max(0)),
+                ),
+            }
+        }
+        2 => {
+            let (x_lo, x_hi) = if a <= b { (a, b) } else { (b, a) };
+            Query::ThreeSided {
+                x_lo: f64::from(x_lo),
+                x_hi: f64::from(x_hi),
+                y_bot: f64::from(c),
+            }
+        }
+        3 => Query::Nearest {
+            x: f64::from(a),
+            y: f64::from(b),
+        },
+        _ => Query::Locate {
+            x: i64::from(a),
+            y: i64::from(b),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_batches_are_snapshot_consistent(
+        raw_updates in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u64..24, -20i32..20, -20i32..20), 1..10),
+            1..4,
+        ),
+        raw_queries in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, -24i32..24, -24i32..24, -24i32..24), 1..8),
+            2..5,
+        ),
+        shards in 1usize..5,
+    ) {
+        let mut seen_sites = std::collections::BTreeSet::new();
+        let update_batches: Vec<UpdateBatch> = raw_updates
+            .iter()
+            .map(|raw| UpdateBatch {
+                updates: raw
+                    .iter()
+                    .filter_map(|&(k, id, a, b)| decode_update(k, id, a, b, &mut seen_sites))
+                    .collect(),
+            })
+            .collect();
+        let query_batches: Vec<QueryBatch> = raw_queries
+            .iter()
+            .map(|raw| QueryBatch {
+                queries: raw.iter().map(|&(k, a, b, c)| decode_query(k, a, b, c)).collect(),
+            })
+            .collect();
+
+        // Sequential model state after each generation: models[g] is what
+        // generation g must answer from.
+        let mut models: Vec<Model> = Vec::with_capacity(update_batches.len() + 1);
+        models.push(Model::default());
+        for ub in &update_batches {
+            let mut next = models.last().expect("nonempty").clone();
+            next.apply(ub);
+            models.push(next);
+        }
+
+        let svc = GeometryService::new(shards);
+        // Writer arm: publish one generation per update batch.  Reader arm:
+        // serve every query batch (twice, to widen the interleaving window)
+        // and hand the observed AnswerBatches back for checking.
+        let (_, observed) = rayon::join(
+            || {
+                for ub in &update_batches {
+                    svc.apply(ub);
+                }
+            },
+            || {
+                let mut out: Vec<(usize, AnswerBatch)> = Vec::new();
+                for _round in 0..2 {
+                    for (qi, qb) in query_batches.iter().enumerate() {
+                        out.push((qi, svc.serve(qb)));
+                    }
+                }
+                out
+            },
+        );
+
+        // Every observed batch must match ONE published generation exactly.
+        let mut last_gen = 0u64;
+        for (qi, ab) in &observed {
+            let g = ab.gen_id;
+            prop_assert!(
+                (g as usize) < models.len(),
+                "answer batch names unpublished generation {g}"
+            );
+            prop_assert!(g >= last_gen, "reader saw generations out of order");
+            last_gen = g;
+            let model = &models[g as usize];
+            let queries = &query_batches[*qi].queries;
+            prop_assert_eq!(ab.answers.len(), queries.len());
+            for (q, got) in queries.iter().zip(&ab.answers) {
+                let want = model.expect(q);
+                prop_assert!(
+                    *got == want,
+                    "torn or wrong answer at gen {}: query {:?} got {:?} want {:?}",
+                    g, q, got, want
+                );
+            }
+        }
+
+        // After the join the final generation serves every batch, and it
+        // must equal the fully-applied model.
+        let final_model = models.last().expect("nonempty");
+        for qb in &query_batches {
+            let ab = svc.serve(qb);
+            prop_assert_eq!(ab.gen_id as usize, models.len() - 1);
+            for (q, got) in qb.queries.iter().zip(&ab.answers) {
+                let want = final_model.expect(q);
+                prop_assert!(*got == want, "final-state mismatch: {:?} vs {:?}", got, want);
+            }
+        }
+    }
+}
