@@ -45,6 +45,21 @@
 //!   — batches answered from a pre-final generation were served while
 //!   publishes were still outstanding).  `BENCH_service.json` holds
 //!   committed rows of this schema.
+//! * **`--serve --faults`** — the fault-mode arm of the load driver
+//!   (requires building with `--features faultinject`): after the preload
+//!   and open-loop calibration, a deterministic fault plan
+//!   ([`pwe_primitives::faultpoint`], seed `--fault-seed`) arms panics,
+//!   injected errors and delays against the shard rebuilds, the publish
+//!   commit step and the read path.  The reader gains admission control
+//!   (an open-loop batch arriving to a backlog deeper than
+//!   `SERVE_MAX_INFLIGHT` is rejected, not queued) and bounded per-batch
+//!   retry (a degraded batch is retried up to `SERVE_MAX_RETRIES` times
+//!   within a deadline of two arrival intervals).  Fault rows carry the
+//!   extra fields `faults_injected`, `batches_degraded`, `retries`,
+//!   `batches_rejected`, `quarantine_generations`, `rebuild_failures` and
+//!   `publish_aborts`; rows without `--faults` are byte-identical to the
+//!   plain serve schema, so committed `BENCH_service.json` baselines are
+//!   unperturbed.
 //! * **`--smoke`** — a tiny in-process sweep that validates the JSON
 //!   emitter and asserts the ω-crossover claim (at the largest swept ω the
 //!   write-efficient variant must cost less work), then runs every query
@@ -67,6 +82,7 @@
 //!   cargo run --release -p pwe-bench --bin speedup -- --sweep --workload sort --omegas 1,10,40
 //!   cargo run --release -p pwe-bench --bin speedup -- --queries --workload range2d --n 200000
 //!   cargo run --release -p pwe-bench --bin speedup -- --serve --threads 4 --shards 8
+//!   cargo run --release -p pwe-bench --features faultinject --bin speedup -- --serve --faults
 //!   cargo run --release -p pwe-bench --bin speedup -- --smoke
 //!   cargo run --release -p pwe-bench --bin speedup -- --serve-smoke
 //!
@@ -162,9 +178,10 @@ fn main() {
         let shards = arg_usize(&args, "--shards").unwrap_or(DEFAULT_SERVE_SHARDS);
         let qbatch = arg_usize(&args, "--qbatch").unwrap_or(DEFAULT_QBATCH);
         let batches = arg_usize(&args, "--batches").unwrap_or(DEFAULT_SERVE_BATCHES);
+        let fault_seed = arg_usize(&args, "--fault-seed").map(|s| s as u64);
         println!(
             "{}",
-            run_serve_child(&loop_mode, n, shards, qbatch, batches)
+            run_serve_child(&loop_mode, n, shards, qbatch, batches, fault_seed)
         );
         return;
     }
@@ -1114,6 +1131,30 @@ const SERVE_OPEN_SLACK_NUM: u32 = 5;
 const SERVE_OPEN_SLACK_DEN: u32 = 4;
 /// Calibration batches for the open-loop arrival interval.
 const SERVE_WARMUP_BATCHES: usize = 8;
+/// Fault mode: open-loop admission bound — an arriving batch finding a
+/// deeper backlog is rejected instead of queued (injected delays must shed
+/// load, not grow the queue without bound).
+const SERVE_MAX_INFLIGHT: usize = 4;
+/// Fault mode: bounded per-batch retries when the served answer is
+/// degraded (a quarantined shard answered from its last-good snapshot).
+const SERVE_MAX_RETRIES: usize = 2;
+/// Fault mode: per-batch retry deadline in arrival intervals (open loop).
+const SERVE_RETRY_DEADLINE_INTERVALS: f64 = 2.0;
+/// Default `--fault-seed` for `--serve --faults`.
+const SERVE_FAULT_SEED: u64 = 0xFA57;
+
+/// Arm the serve-bench fault plan: rebuilds can panic / error / delay, the
+/// publish commit can error / delay (aborting the swap losslessly), the
+/// read path only delays.  Per-mille rates are mild enough that the loop
+/// stays live but every containment path fires over a default-length run.
+#[cfg(feature = "faultinject")]
+fn arm_serve_plan(seed: u64) -> pwe_primitives::faultpoint::ArmedPlan {
+    pwe_primitives::faultpoint::FaultPlan::new(seed)
+        .rule("service.rebuild.", 60, 60, 40, 200)
+        .rule("service.publish.commit", 0, 40, 40, 100)
+        .rule("service.serve.batch", 0, 0, 100, 400)
+        .arm()
+}
 
 /// One query batch mixing all five kinds over the preload's domain.
 fn serve_query_batch(rng: &mut rand::rngs::StdRng, qbatch: usize) -> pwe_service::QueryBatch {
@@ -1205,12 +1246,19 @@ fn percentile_us(sorted: &[f64], pct: usize) -> f64 {
 /// One serve-mode measurement inside a child whose pool width is fixed:
 /// a writer arm publishing churn generations concurrently with a reader
 /// arm serving `batches` query batches, closed- or open-loop.
+///
+/// With `fault_seed` set (fault mode, `faultinject` feature only), the
+/// deterministic plan of `arm_serve_plan` arms *after* the preload and
+/// calibration; the reader adds admission control and bounded degraded
+/// retries, and the row grows the fault-mode fields.  Without it, the row
+/// is byte-identical to the plain serve schema.
 fn run_serve_child(
     loop_mode: &str,
     n: usize,
     shards: usize,
     qbatch: usize,
     batches: usize,
+    fault_seed: Option<u64>,
 ) -> String {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::Instant;
@@ -1219,7 +1267,13 @@ fn run_serve_child(
         loop_mode == "closed" || loop_mode == "open",
         "serve loop must be closed or open, got {loop_mode:?}"
     );
+    #[cfg(not(feature = "faultinject"))]
+    assert!(
+        fault_seed.is_none(),
+        "--faults requires rebuilding with --features faultinject"
+    );
     let open = loop_mode == "open";
+    let faulted = fault_seed.is_some();
     let svc = serve_preload(n, shards);
     let base_gen = svc.current_gen_id();
 
@@ -1245,10 +1299,17 @@ fn run_serve_child(
         0.0
     };
 
+    // Fault mode only: the plan arms after preload and calibration, so the
+    // measured loop (and nothing before it) sees injected faults.  The
+    // guard disarms when this function returns; `faults_injected` is read
+    // out before that.
+    #[cfg(feature = "faultinject")]
+    let _armed = fault_seed.map(arm_serve_plan);
+
     let stop = AtomicBool::new(false);
     let writer_rounds = (batches / SERVE_WRITER_DIVISOR).max(1);
     let t0 = Instant::now();
-    let (gens_swapped, (lat_us, gens_seen)) = rayon::join(
+    let (gens_swapped, (lat_us, gens_seen, fault_obs)) = rayon::join(
         || {
             let mut wrng = rand::rngs::StdRng::seed_from_u64(0x5E26);
             let mut swapped = 0usize;
@@ -1258,14 +1319,20 @@ fn run_serve_child(
                 if round > 0 && stop.load(Ordering::Relaxed) {
                     break;
                 }
-                svc.apply(&serve_churn_batch(&mut wrng, n));
-                swapped += 1;
+                // Injected rebuild panics are contained inside `apply`
+                // (quarantine + retry-with-backoff); an aborted publish
+                // keeps the batch durably applied but swaps nothing.
+                if svc.apply(&serve_churn_batch(&mut wrng, n)).published {
+                    swapped += 1;
+                }
             }
             swapped
         },
         || {
             let mut lat = Vec::with_capacity(batches);
             let mut gens = Vec::with_capacity(batches);
+            // (batches_degraded, retries, batches_rejected) — fault mode.
+            let mut obs = (0usize, 0usize, 0usize);
             for (i, qb) in query_batches.iter().enumerate() {
                 let start = if open {
                     // Open loop: arrivals are scheduled, not gated on
@@ -1278,15 +1345,44 @@ fn run_serve_child(
                 } else {
                     t0.elapsed().as_secs_f64() * 1e6
                 };
-                let ab = svc.serve(qb);
+                if faulted && open {
+                    // Admission control: arrivals due but unhandled beyond
+                    // this batch form the backlog; shed instead of queue.
+                    let due = ((start / interval_us) as usize + 1).min(batches);
+                    if due.saturating_sub(i) > SERVE_MAX_INFLIGHT {
+                        obs.2 += 1;
+                        continue;
+                    }
+                }
+                let mut ab = svc.serve(qb);
+                if faulted {
+                    // Bounded retry: a degraded batch (some shard serving
+                    // its quarantined last-good snapshot) re-pins the
+                    // current generation, succeeding once the writer's
+                    // backoff schedule heals the shard.
+                    let deadline_us = start + SERVE_RETRY_DEADLINE_INTERVALS * interval_us;
+                    let mut attempts = 0usize;
+                    while ab.degraded
+                        && attempts < SERVE_MAX_RETRIES
+                        && (!open || t0.elapsed().as_secs_f64() * 1e6 < deadline_us)
+                    {
+                        attempts += 1;
+                        obs.1 += 1;
+                        ab = svc.serve(qb);
+                    }
+                    if ab.degraded {
+                        obs.0 += 1;
+                    }
+                }
                 lat.push(t0.elapsed().as_secs_f64() * 1e6 - start);
                 gens.push(ab.gen_id);
             }
             stop.store(true, Ordering::Relaxed);
-            (lat, gens)
+            (lat, gens, obs)
         },
     );
     let total_millis = t0.elapsed().as_secs_f64() * 1e3;
+    let (batches_degraded, retries, batches_rejected) = fault_obs;
 
     let final_gen = base_gen + gens_swapped as u64;
     assert_eq!(svc.current_gen_id(), final_gen, "swap accounting drifted");
@@ -1303,8 +1399,27 @@ fn run_serve_child(
 
     let mut sorted = lat_us.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let queries_total = (batches * qbatch) as f64;
+    assert!(!sorted.is_empty(), "admission control rejected every batch");
+    let queries_total = ((batches - batches_rejected) * qbatch) as f64;
     let throughput_qps = queries_total / (total_millis / 1e3);
+
+    let fault_fields = match fault_seed {
+        None => String::new(),
+        Some(seed) => {
+            let stats = svc.stats();
+            format!(
+                ",\"faults\":true,\"fault_seed\":{seed},\
+                 \"faults_injected\":{},\"batches_degraded\":{batches_degraded},\
+                 \"retries\":{retries},\"batches_rejected\":{batches_rejected},\
+                 \"quarantine_generations\":{},\"rebuild_failures\":{},\
+                 \"publish_aborts\":{}",
+                pwe_primitives::faultpoint::injected_total(),
+                stats.quarantine_generations,
+                stats.rebuild_failures,
+                stats.publish_aborts,
+            )
+        }
+    };
 
     format!(
         "{{\"mode\":\"serve\",\"loop\":\"{loop_mode}\",\"n\":{n},\"shards\":{shards},\
@@ -1312,7 +1427,7 @@ fn run_serve_child(
          \"interval_us\":{interval_us:.1},\"throughput_qps\":{throughput_qps:.1},\
          \"p50_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1},\
          \"generations_swapped\":{gens_swapped},\"overlap_batches\":{overlap_batches},\
-         \"distinct_gens_observed\":{distinct_gens}}}",
+         \"distinct_gens_observed\":{distinct_gens}{fault_fields}}}",
         thread_fields(),
         percentile_us(&sorted, 50),
         percentile_us(&sorted, 99),
@@ -1328,6 +1443,17 @@ fn run_serve_parent(args: &[String]) {
     let shards = arg_usize(args, "--shards").unwrap_or(DEFAULT_SERVE_SHARDS);
     let qbatch = arg_usize(args, "--qbatch").unwrap_or(DEFAULT_QBATCH);
     let batches = arg_usize(args, "--batches").unwrap_or(DEFAULT_SERVE_BATCHES);
+    let faults = args.iter().any(|a| a == "--faults");
+    if faults && !cfg!(feature = "faultinject") {
+        eprintln!(
+            "--faults requires the faultinject feature: \
+             cargo run --release -p pwe-bench --features faultinject --bin speedup -- --serve --faults"
+        );
+        std::process::exit(2);
+    }
+    let fault_seed = arg_usize(args, "--fault-seed")
+        .map(|s| s as u64)
+        .unwrap_or(SERVE_FAULT_SEED);
     let threads: Vec<usize> = match arg_str(args, "--threads") {
         Some(list) => parse_list(&list),
         None => {
@@ -1353,6 +1479,9 @@ fn run_serve_parent(args: &[String]) {
                 .arg(qbatch.to_string())
                 .arg("--batches")
                 .arg(batches.to_string());
+            if faults {
+                cmd.arg("--fault-seed").arg(fault_seed.to_string());
+            }
             cmd.env("RAYON_NUM_THREADS", t.to_string());
             let out = cmd.output().expect("failed to spawn serve child");
             if !out.status.success() {
@@ -1372,6 +1501,16 @@ fn run_serve_parent(args: &[String]) {
                 "serve {loop_mode:<6} threads={t:<3} {qps:>10.0} q/s   \
                  p50 {p50:>8.1} µs   p99 {p99:>8.1} µs   overlap {overlap}"
             );
+            if faults {
+                let injected = json_f64(&line, "faults_injected").unwrap_or(0.0);
+                let degraded = json_f64(&line, "batches_degraded").unwrap_or(0.0);
+                let retries = json_f64(&line, "retries").unwrap_or(0.0);
+                let rejected = json_f64(&line, "batches_rejected").unwrap_or(0.0);
+                eprintln!(
+                    "      faults: injected {injected}   degraded {degraded}   \
+                     retries {retries}   rejected {rejected}"
+                );
+            }
         }
     }
 }
@@ -1381,7 +1520,7 @@ fn run_serve_parent(args: &[String]) {
 /// any violation aborts with a non-zero exit.  CI runs this.
 fn run_serve_smoke() {
     for loop_mode in ["closed", "open"] {
-        let line = run_serve_child(loop_mode, 2_000, 3, 64, 30);
+        let line = run_serve_child(loop_mode, 2_000, 3, 64, 30, None);
         for key in [
             "n",
             "shards",
@@ -1423,6 +1562,43 @@ fn run_serve_smoke() {
         assert!(
             json_f64(&line, "generations_swapped").unwrap() >= 1.0,
             "serve smoke: writer never swapped a generation in {line}"
+        );
+        assert!(
+            !line.contains("\"faults\""),
+            "serve smoke: fault fields leaked into a plain serve row: {line}"
+        );
+        println!("{line}");
+    }
+    // With the feature compiled in, also smoke the fault-mode schema: the
+    // extra fields must be present and numeric, injected faults must have
+    // fired (the serve-site delay schedule is a pure function of the seed),
+    // and the writer must still have swapped at least one generation
+    // through the containment layer.
+    #[cfg(feature = "faultinject")]
+    {
+        let line = run_serve_child("closed", 2_000, 3, 64, 30, Some(SERVE_FAULT_SEED));
+        for key in [
+            "fault_seed",
+            "faults_injected",
+            "batches_degraded",
+            "retries",
+            "batches_rejected",
+            "quarantine_generations",
+            "rebuild_failures",
+            "publish_aborts",
+        ] {
+            assert!(
+                json_f64(&line, key).is_some(),
+                "serve smoke: fault key {key:?} missing or non-numeric in {line}"
+            );
+        }
+        assert!(
+            json_f64(&line, "faults_injected").unwrap() > 0.0,
+            "serve smoke: armed plan injected nothing in {line}"
+        );
+        assert!(
+            json_f64(&line, "generations_swapped").unwrap() >= 1.0,
+            "serve smoke: no generation survived the fault plan in {line}"
         );
         println!("{line}");
     }

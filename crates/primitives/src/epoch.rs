@@ -47,9 +47,18 @@
 //! ordered and stay silent.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::racecheck;
+
+/// Recover a possibly poisoned lock.  The retired list is kept in a valid
+/// state at every panic point (payload drops happen *outside* the lock —
+/// see [`EpochCell::reclaim`]), so a poisoned mutex only records that some
+/// unrelated unwind crossed a guard; refusing to proceed would leak every
+/// retired generation from then on.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Announced-epoch value meaning "slot not pinned".
 const QUIESCENT: u64 = u64::MAX;
@@ -177,47 +186,110 @@ impl<T: Send + Sync> EpochCell<T> {
     /// generations are reclaimed when the last such guard drops (the next
     /// publish, or the cell's drop, performs the actual free).
     pub fn publish(&self, value: T) {
+        self.publish_boxed(Box::new(value));
+    }
+
+    /// Stage `value` as a generation that is built but **not yet
+    /// published**.  The returned [`PreparedGen`] either commits through
+    /// [`publish_prepared`](Self::publish_prepared) or frees the value on
+    /// drop — the abort path of a writer whose commit step can fail
+    /// between building a generation and swapping it in.
+    pub fn prepare(&self, value: T) -> PreparedGen<T> {
+        PreparedGen {
+            value: Box::new(value),
+        }
+    }
+
+    /// Commit a [`prepare`](Self::prepare)d generation: identical to
+    /// [`publish`](Self::publish) except the allocation already happened.
+    pub fn publish_prepared(&self, prepared: PreparedGen<T>) {
+        self.publish_boxed(prepared.value);
+    }
+
+    /// The one publish path: swap the boxed generation in, retire the old
+    /// one, reclaim what is provably unreachable.
+    ///
+    /// Panic safety: between `Box::into_raw` and the retired-list push
+    /// nothing can unwind — `swap` and `fetch_add` are plain atomics and
+    /// the lock acquisition recovers from poison ([`relock`]) instead of
+    /// panicking — so the old generation cannot be leaked half-retired.
+    /// The racecheck claim (which *can* panic, by design) precedes the
+    /// `into_raw`, where `value` is still an owned `Box`.
+    fn publish_boxed(&self, value: Box<T>) {
         // Enforce the single-writer discipline under racecheck: all
         // publishes claim the same logical cell [0,1), so two publishes
         // from concurrent task lineages panic with both provenances.
         let _claim = racecheck::claim_range(self.claim_space, 0, 1, "epoch::publish");
-        let new_ptr = Box::into_raw(Box::new(value));
+        let new_ptr = Box::into_raw(value);
         let old = self.current.swap(new_ptr, SeqCst);
         let retire_epoch = self.global_epoch.fetch_add(1, SeqCst);
-        let mut retired = self.retired.lock().unwrap();
-        retired.push(Retired {
-            ptr: old,
-            retire_epoch,
-        });
-        self.reclaim_locked(&mut retired);
+        {
+            let mut retired = relock(&self.retired);
+            retired.push(Retired {
+                ptr: old,
+                retire_epoch,
+            });
+        }
+        self.reclaim();
     }
 
     /// Number of retired-but-not-yet-freed generations (test observability).
     pub fn retired_len(&self) -> usize {
-        self.retired.lock().unwrap().len()
+        relock(&self.retired).len()
     }
 
     /// Free every retired generation no pinned reader can still observe.
-    fn reclaim_locked(&self, retired: &mut Vec<Retired<T>>) {
+    ///
+    /// Reclamation is split into two phases for panic safety: eligible
+    /// records are first *removed* from the retired list (restoring each
+    /// raw pointer to an owned `Box`), the lock is released, and only then
+    /// are the payloads dropped.  A payload whose `Drop` panics therefore
+    /// cannot leave the shared list mid-`retain` (where a re-entrant or
+    /// later reclaim could double-free), and the remaining boxed payloads
+    /// are still freed by `Vec`'s own drop glue during the unwind.
+    fn reclaim(&self) {
         let min_announced = self
             .slots
             .iter()
             .map(|s| s.epoch.load(SeqCst))
             .min()
             .unwrap_or(QUIESCENT);
-        retired.retain(|r| {
-            if r.retire_epoch < min_announced {
-                // SAFETY: the pointer came from Box::into_raw in publish
-                // and is freed exactly once (retain removes it).  Every
-                // reader announced an epoch > retire_epoch, so (module
-                // docs) each one's pointer load followed the swap that
-                // unpublished this generation: no &T into it exists.
-                unsafe { drop(Box::from_raw(r.ptr)) };
-                false
-            } else {
-                true
+        let mut freeable: Vec<Box<T>> = Vec::new();
+        {
+            let mut retired = relock(&self.retired);
+            let mut i = 0;
+            while i < retired.len() {
+                if retired[i].retire_epoch < min_announced {
+                    let r = retired.swap_remove(i);
+                    // SAFETY: the pointer came from Box::into_raw in
+                    // publish_boxed and is converted back exactly once
+                    // (swap_remove took the record out of the list, the
+                    // only other owner).  Every reader announced an epoch
+                    // > retire_epoch, so (module docs) each one's pointer
+                    // load followed the swap that unpublished this
+                    // generation: no &T into it exists.
+                    freeable.push(unsafe { Box::from_raw(r.ptr) });
+                } else {
+                    i += 1;
+                }
             }
-        });
+        }
+        drop(freeable);
+    }
+}
+
+/// A generation staged by [`EpochCell::prepare`]: owned, never observable
+/// by readers, freed on drop unless committed through
+/// [`EpochCell::publish_prepared`].  The `epoch_leak` integration test
+/// pins the abort path (drop without publish) leak-free.
+pub struct PreparedGen<T> {
+    value: Box<T>,
+}
+
+impl<T> PreparedGen<T> {
+    /// Read access to the staged value (it is not shared yet).
+    pub fn get(&self) -> &T {
+        &self.value
     }
 }
 
@@ -229,7 +301,11 @@ impl<T: Send + Sync> Drop for EpochCell<T> {
         // SAFETY: created by Box::into_raw (new or publish), never freed —
         // reclaim only frees retired pointers, and this one is current.
         unsafe { drop(Box::from_raw(current)) };
-        for r in self.retired.get_mut().unwrap().drain(..) {
+        let retired = self
+            .retired
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        for r in retired.drain(..) {
             // SAFETY: retired pointers are owned by the list and freed
             // exactly once; no guard outlives the cell.
             unsafe { drop(Box::from_raw(r.ptr)) };

@@ -1,0 +1,448 @@
+//! pwe-lint: deny-untracked-alloc
+//!
+//! Deterministic fault injection: named fault sites and replayable failure
+//! schedules.
+//!
+//! Production code marks the places where a fault *could* strike with a
+//! named site — `fault_point!("service.rebuild.interval", shard)` — and a
+//! test (or the bench driver's fault arm) arms a `FaultPlan` deciding,
+//! per site and per hit, whether that hit panics, returns an
+//! [`InjectedFault`] error, or burns a deterministic delay.  Everything
+//! else is a no-op:
+//!
+//! * Without the default-off `faultinject` cargo feature the whole module
+//!   compiles to inline no-op stubs (the [`racecheck`](crate::racecheck)
+//!   pattern): no atomics, no locks, no branches — counters, layouts and
+//!   `BENCH_*` numbers are untouched and call sites need no `cfg`.
+//! * With the feature compiled but no plan armed, a site costs one relaxed
+//!   atomic load and injects nothing — the service equivalence suites run
+//!   in exactly this mode to pin that the feature is a true no-op.
+//!
+//! # Why injected schedules are deterministic
+//!
+//! A `FaultPlan` (feature-gated, like everything below it) holds a seed
+//! and per-site-prefix rules.  The decision for a hit is a pure function
+//! `FaultPlan::decision(site, key, hit)`:
+//! a splitmix64 draw over `seed ⊕ fnv1a(site) ⊕ mix(key, hit)` mapped
+//! through the rule's per-mille thresholds.  No wall clock, no thread ids,
+//! no global order — so the schedule replays bit-identically at
+//! `RAYON_NUM_THREADS=1` and 4.  The `key` is how concurrent call sites
+//! stay deterministic: sites reached from parallel tasks (one per shard,
+//! say) pass a stable logical key (the shard index), and the per-`(site,
+//! key)` hit counter then advances in that task's own deterministic order
+//! regardless of how the scheduler interleaves the tasks.
+//!
+//! Injected *latency* is a seeded spin (a `black_box`ed splitmix chain),
+//! not a sleep: `pwe-lint` D2 (no wall clock outside the bench layer)
+//! holds for this module, and the delay perturbs only the schedule, never
+//! a counter or a layout.
+//!
+//! Injected *panics* carry a payload starting with `"faultpoint:"`; a
+//! process-wide panic-hook shim (installed on first arm, transparent while
+//! disarmed) suppresses their default stderr backtrace so chaos suites
+//! stay readable.  Containment layers catch them with `catch_unwind`
+//! (see `pwe_service`).
+
+/// A fault injected at a named site: the error-mode payload, and what a
+/// containment layer reports upward after catching an injected panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: &'static str,
+    /// Zero-based count of prior hits of `(site, key)` when it fired.
+    pub hit: u64,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.site, self.hit)
+    }
+}
+
+/// True when fault injection is compiled in (the `faultinject` feature).
+#[cfg(feature = "faultinject")]
+pub const ENABLED: bool = true;
+/// See the `faultinject`-enabled doc.
+#[cfg(not(feature = "faultinject"))]
+pub const ENABLED: bool = false;
+
+/// Mark a fault site.  Expands to a `?`-propagated [`check`] /
+/// [`check_keyed`] call, so the enclosing function returns
+/// `Result<_, E>` with `E: From<InjectedFault>`.  Compiles to nothing
+/// without the `faultinject` feature.
+#[macro_export]
+macro_rules! fault_point {
+    ($site:expr) => {
+        $crate::faultpoint::check($site)?
+    };
+    ($site:expr, $key:expr) => {
+        $crate::faultpoint::check_keyed($site, $key)?
+    };
+}
+
+/// Pass through the fault site `site` with logical key 0.  See
+/// [`check_keyed`].
+#[inline(always)]
+pub fn check(site: &'static str) -> Result<(), InjectedFault> {
+    check_keyed(site, 0)
+}
+
+/// Pass through the fault site `site` with logical key `key` (a stable
+/// per-task discriminator, e.g. a shard index — module docs).  When a plan
+/// is armed and its schedule says this hit faults: panic, spin, or return
+/// `Err(InjectedFault)`.  Otherwise `Ok(())`.
+#[cfg(feature = "faultinject")]
+#[inline]
+pub fn check_keyed(site: &'static str, key: u64) -> Result<(), InjectedFault> {
+    use std::sync::atomic::Ordering::Relaxed;
+    if !imp::ACTIVE.load(Relaxed) {
+        return Ok(());
+    }
+    imp::check_armed(site, key)
+}
+
+/// No-op without the `faultinject` feature.
+#[cfg(not(feature = "faultinject"))]
+#[inline(always)]
+pub fn check_keyed(_site: &'static str, _key: u64) -> Result<(), InjectedFault> {
+    Ok(())
+}
+
+/// Total faults injected (all modes) since the last [`FaultPlan::arm`] /
+/// [`unarmed_exclusive`].  Always 0 without the feature.
+#[cfg(feature = "faultinject")]
+pub fn injected_total() -> u64 {
+    imp::INJECTED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// See the `faultinject`-enabled doc.
+#[cfg(not(feature = "faultinject"))]
+#[inline(always)]
+pub fn injected_total() -> u64 {
+    0
+}
+
+#[cfg(feature = "faultinject")]
+pub use imp::{unarmed_exclusive, ArmedPlan, FaultKind, FaultPlan, SiteRule, Unarmed};
+
+#[cfg(feature = "faultinject")]
+mod imp {
+    use super::InjectedFault;
+    use crate::hash::DetHashMap;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+
+    /// Fast-path switch: a plan is armed.
+    pub(super) static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    /// Faults injected since the last arm (all modes).
+    pub(super) static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+    /// The armed plan plus its per-`(site, key)` hit counters.
+    static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+    /// Held (via [`ArmedPlan`] / [`Unarmed`]) for the whole armed — or
+    /// deliberately-unarmed — region, so concurrently running tests never
+    /// observe each other's schedules.
+    static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+    static HOOK: Once = Once::new();
+
+    struct PlanState {
+        plan: FaultPlan,
+        hits: DetHashMap<(&'static str, u64), u64>,
+    }
+
+    /// What an armed schedule does to one hit.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// Panic with a `"faultpoint:"`-prefixed payload.
+        Panic,
+        /// Return `Err(InjectedFault)` from the site.
+        Error,
+        /// Burn a deterministic spin delay, then proceed.
+        Delay,
+    }
+
+    /// One per-site-prefix rule: per-mille probabilities of each mode.
+    /// The first rule whose prefix matches the site decides.
+    #[derive(Debug, Clone)]
+    pub struct SiteRule {
+        prefix: &'static str,
+        panic_pm: u32,
+        error_pm: u32,
+        delay_pm: u32,
+        delay_spins: u32,
+    }
+
+    /// A deterministic failure schedule: seed plus prefix rules.  Pure
+    /// data until [`arm`](FaultPlan::arm)ed.
+    #[derive(Debug, Clone)]
+    pub struct FaultPlan {
+        seed: u64,
+        rules: Vec<SiteRule>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no site matches, nothing injected) over `seed`.
+        pub fn new(seed: u64) -> FaultPlan {
+            FaultPlan {
+                seed,
+                // alloc: harness state — rule list built once per plan
+                rules: Vec::new(),
+            }
+        }
+
+        /// Append a rule: sites starting with `prefix` panic / error /
+        /// delay with the given per-mille probabilities (delay burns
+        /// `delay_spins` spin rounds).  First matching rule wins.
+        pub fn rule(
+            mut self,
+            prefix: &'static str,
+            panic_pm: u32,
+            error_pm: u32,
+            delay_pm: u32,
+            delay_spins: u32,
+        ) -> FaultPlan {
+            assert!(panic_pm + error_pm + delay_pm <= 1000, "per-mille overflow");
+            self.rules.push(SiteRule {
+                prefix,
+                panic_pm,
+                error_pm,
+                delay_pm,
+                delay_spins,
+            });
+            self
+        }
+
+        /// The pure schedule: what this plan does to hit number `hit` of
+        /// `(site, key)`.  No state — the determinism claim of the module
+        /// docs is testable against this directly.
+        pub fn decision(&self, site: &str, key: u64, hit: u64) -> Option<(FaultKind, u32)> {
+            let rule = self.rules.iter().find(|r| site.starts_with(r.prefix))?;
+            let draw = (splitmix64(
+                self.seed ^ fnv1a(site.as_bytes()) ^ splitmix64(key ^ hit.wrapping_mul(GOLDEN)),
+            ) % 1000) as u32;
+            if draw < rule.panic_pm {
+                Some((FaultKind::Panic, 0))
+            } else if draw < rule.panic_pm + rule.error_pm {
+                Some((FaultKind::Error, 0))
+            } else if draw < rule.panic_pm + rule.error_pm + rule.delay_pm {
+                Some((FaultKind::Delay, rule.delay_spins))
+            } else {
+                None
+            }
+        }
+
+        /// Arm the plan process-wide.  Blocks until any other armed (or
+        /// deliberately unarmed, [`unarmed_exclusive`]) region ends; the
+        /// returned guard disarms on drop and resets the hit counters and
+        /// [`injected_total`](super::injected_total).
+        pub fn arm(self) -> ArmedPlan {
+            let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+            install_hook();
+            INJECTED.store(0, Relaxed);
+            *STATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(PlanState {
+                plan: self,
+                hits: DetHashMap::default(),
+            });
+            ACTIVE.store(true, Relaxed);
+            ArmedPlan { _lock: lock }
+        }
+    }
+
+    /// RAII armed region: created by [`FaultPlan::arm`], disarms on drop.
+    pub struct ArmedPlan {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ArmedPlan {
+        fn drop(&mut self) {
+            ACTIVE.store(false, Relaxed);
+            *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+            INJECTED.store(0, Relaxed);
+        }
+    }
+
+    /// RAII deliberately-unarmed region: holds the same exclusivity lock
+    /// as an armed plan without arming anything, so a no-op pin test can
+    /// assert `injected_total() == 0` while armed tests run in sibling
+    /// threads.
+    pub struct Unarmed {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    /// Enter a deliberately-unarmed exclusive region (see [`Unarmed`]).
+    pub fn unarmed_exclusive() -> Unarmed {
+        let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(!ACTIVE.load(Relaxed));
+        INJECTED.store(0, Relaxed);
+        Unarmed { _lock: lock }
+    }
+
+    /// Armed-path site check: count the hit, ask the plan, act.
+    pub(super) fn check_armed(site: &'static str, key: u64) -> Result<(), InjectedFault> {
+        let verdict = {
+            let mut guard = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(state) = guard.as_mut() else {
+                return Ok(()); // disarm raced the ACTIVE fast path
+            };
+            let hit = state.hits.entry((site, key)).or_insert(0);
+            let n = *hit;
+            *hit += 1;
+            state.plan.decision(site, key, n).map(|d| (d, n))
+        };
+        match verdict {
+            None => Ok(()),
+            Some(((FaultKind::Panic, _), n)) => {
+                INJECTED.fetch_add(1, Relaxed);
+                panic!("faultpoint: injected panic at {site} (key {key}, hit {n})");
+            }
+            Some(((FaultKind::Error, _), n)) => {
+                INJECTED.fetch_add(1, Relaxed);
+                Err(InjectedFault { site, hit: n })
+            }
+            Some(((FaultKind::Delay, spins), _)) => {
+                INJECTED.fetch_add(1, Relaxed);
+                burn(spins);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deterministic delay: a seeded spin over `black_box`ed splitmix
+    /// rounds.  No wall clock (D2), no observable state.
+    fn burn(spins: u32) {
+        let mut x = GOLDEN;
+        for _ in 0..spins {
+            x = splitmix64(x);
+            std::hint::black_box(x);
+        }
+    }
+
+    /// Install (once) a panic-hook shim that suppresses the default
+    /// backtrace for injected panics while a plan is armed and is
+    /// transparent otherwise.
+    fn install_hook() {
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            // alloc: the one process-wide hook closure, installed once
+            std::panic::set_hook(Box::new(move |info| {
+                if ACTIVE.load(Relaxed) {
+                    let injected = info
+                        .payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.as_str())
+                        .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                        .is_some_and(|s| s.starts_with("faultpoint:"));
+                    if injected {
+                        return;
+                    }
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// splitmix64 finalizer (the workspace's standard seeded mixer).
+    fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(GOLDEN);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// FNV-1a over the site name: stable across platforms and runs.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+#[cfg(feature = "faultinject")]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(0xFA01).rule("test.site", 200, 300, 100, 8)
+    }
+
+    #[test]
+    fn decision_is_pure_and_covers_all_modes() {
+        let p = plan();
+        let mut seen = [false; 4];
+        for hit in 0..256 {
+            let d = p.decision("test.site.a", 3, hit);
+            assert_eq!(d, p.decision("test.site.a", 3, hit), "decision not pure");
+            match d {
+                None => seen[0] = true,
+                Some((FaultKind::Panic, _)) => seen[1] = true,
+                Some((FaultKind::Error, _)) => seen[2] = true,
+                Some((FaultKind::Delay, s)) => {
+                    assert_eq!(s, 8);
+                    seen[3] = true;
+                }
+            }
+        }
+        assert_eq!(seen, [true; 4], "some mode never drawn in 256 hits");
+        assert_eq!(p.decision("other.site", 0, 0), None, "prefix must gate");
+    }
+
+    #[test]
+    fn armed_plan_replays_the_pure_schedule() {
+        let p = plan();
+        let expected: Vec<_> = (0..64).map(|h| p.decision("test.site.x", 7, h)).collect();
+        let armed = p.arm();
+        for d in &expected {
+            let got = std::panic::catch_unwind(|| check_keyed("test.site.x", 7));
+            match d {
+                Some((FaultKind::Panic, _)) => assert!(got.is_err(), "expected panic"),
+                Some((FaultKind::Error, _)) => {
+                    assert!(matches!(got, Ok(Err(_))), "expected error")
+                }
+                _ => assert!(matches!(got, Ok(Ok(()))), "expected pass-through"),
+            }
+        }
+        let injected = injected_total();
+        let faults = expected.iter().filter(|d| d.is_some()).count() as u64;
+        assert_eq!(injected, faults);
+        drop(armed);
+        assert_eq!(injected_total(), 0, "disarm resets the counter");
+        assert!(check_keyed("test.site.x", 7).is_ok(), "disarmed site fires");
+    }
+
+    #[test]
+    fn keys_have_independent_hit_streams() {
+        let p = plan();
+        // Two keys interleaved in any order see the same per-key schedule
+        // a key-major replay sees.
+        let k0: Vec<_> = (0..32).map(|h| p.decision("test.site.k", 0, h)).collect();
+        let k1: Vec<_> = (0..32).map(|h| p.decision("test.site.k", 1, h)).collect();
+        let _armed = p.arm();
+        for h in 0..32 {
+            for (key, want) in [(0u64, &k0[h]), (1u64, &k1[h])] {
+                let got = std::panic::catch_unwind(|| check_keyed("test.site.k", key));
+                match want {
+                    Some((FaultKind::Panic, _)) => assert!(got.is_err()),
+                    Some((FaultKind::Error, _)) => assert!(matches!(got, Ok(Err(_)))),
+                    _ => assert!(matches!(got, Ok(Ok(())))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _excl = unarmed_exclusive();
+        for _ in 0..100 {
+            assert!(check("test.site.quiet").is_ok());
+        }
+        assert_eq!(injected_total(), 0);
+    }
+}

@@ -28,6 +28,12 @@
 //!   `racecheck` feature): parallel fan-outs register the region they are
 //!   about to touch and overlapping claims from logically concurrent tasks
 //!   panic with both tasks' provenance.
+//! * [`faultpoint`] — deterministic fault injection (default-off
+//!   `faultinject` feature): named fault sites compiled to no-ops by
+//!   default; an armed `faultpoint::FaultPlan` replays a seeded,
+//!   thread-count-independent schedule of injected panics, errors and
+//!   delays (the chaos half of the serving layer's failure-containment
+//!   story, MODEL.md §6).
 //! * [`layout`] / [`search`] — the cache-conscious query layer: blocked
 //!   (vEB-style) permutation caches for static arena trees and the
 //!   branchless, prefetching binary search every packed-run lookup goes
@@ -46,6 +52,7 @@
 
 pub mod cascade;
 pub mod epoch;
+pub mod faultpoint;
 pub mod hash;
 pub mod layout;
 pub mod merge;
@@ -59,7 +66,8 @@ pub mod semisort;
 pub mod tournament;
 
 pub use cascade::{CascadeEntry, CascadeIndex};
-pub use epoch::{EpochCell, EpochGuard};
+pub use epoch::{EpochCell, EpochGuard, PreparedGen};
+pub use faultpoint::InjectedFault;
 pub use hash::{DetHashMap, DetHashSet, DetState};
 pub use layout::{BlockedNode, BlockedTree, NO_NODE};
 pub use pack::{pack_flagged, pack_indices};

@@ -1,0 +1,113 @@
+//! Abort-path leak tests for [`pwe_primitives::epoch`]: a generation that
+//! was *built but never published* must be freed, and reclamation must
+//! survive hostile payload drops without double-freeing or wedging the
+//! retired list.  These pins back the serving layer's publish-abort path
+//! (a fault injected between building a generation and committing it —
+//! MODEL.md §6, "Failure semantics").
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use pwe_primitives::epoch::EpochCell;
+
+/// A payload whose drop is observable.
+struct Tracked {
+    value: u64,
+    drops: Arc<AtomicU64>,
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, SeqCst);
+    }
+}
+
+fn tracked(value: u64, drops: &Arc<AtomicU64>) -> Tracked {
+    Tracked {
+        value,
+        drops: Arc::clone(drops),
+    }
+}
+
+#[test]
+fn prepared_but_never_published_generation_is_freed() {
+    let drops = Arc::new(AtomicU64::new(0));
+    let cell = EpochCell::new(tracked(0, &drops));
+    let staged = cell.prepare(tracked(1, &drops));
+    assert_eq!(staged.get().value, 1);
+    // Readers never observe the staged generation.
+    assert_eq!(cell.pin().value, 0);
+    // Abort: dropping the staged generation frees it immediately — no
+    // retired-list entry, no epoch bookkeeping, no leak.
+    drop(staged);
+    assert_eq!(drops.load(SeqCst), 1, "aborted generation not freed");
+    assert_eq!(cell.retired_len(), 0);
+    // The cell is fully functional after the abort.
+    cell.publish(tracked(2, &drops));
+    assert_eq!(cell.pin().value, 2);
+    assert_eq!(drops.load(SeqCst), 2, "publish reclaimed generation 0");
+    drop(cell);
+    assert_eq!(drops.load(SeqCst), 3, "cell drop freed the last generation");
+}
+
+#[test]
+fn abort_commit_interleavings_stay_balanced() {
+    let drops = Arc::new(AtomicU64::new(0));
+    let cell = EpochCell::new(tracked(0, &drops));
+    for round in 1..=10u64 {
+        let staged = cell.prepare(tracked(round * 2, &drops));
+        drop(staged); // abort
+        let staged = cell.prepare(tracked(round * 2 + 1, &drops));
+        cell.publish_prepared(staged); // commit
+        assert_eq!(cell.pin().value, round * 2 + 1);
+    }
+    // Per round: one abort drop + one reclaimed predecessor.  The final
+    // committed generation is still alive.
+    assert_eq!(drops.load(SeqCst), 20);
+    drop(cell);
+    assert_eq!(drops.load(SeqCst), 21);
+}
+
+/// A payload whose drop panics when flagged — the hostile case for
+/// reclamation: the panic must not leave a half-freed retired list
+/// (double free) and must not wedge future reclaims.
+struct Volatile {
+    boom: bool,
+    drops: Arc<AtomicU64>,
+}
+
+impl Drop for Volatile {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, SeqCst);
+        if self.boom {
+            panic!("volatile payload drop");
+        }
+    }
+}
+
+#[test]
+fn panicking_payload_drop_cannot_double_free() {
+    let drops = Arc::new(AtomicU64::new(0));
+    let mk = |boom: bool| Volatile {
+        boom,
+        drops: Arc::clone(&drops),
+    };
+    let cell = EpochCell::new(mk(false));
+    cell.publish(mk(true)); // retires + frees generation 0
+    assert_eq!(drops.load(SeqCst), 1);
+    // Publishing again reclaims the boom generation; its drop panics
+    // *after* the record left the retired list, so the unwind crosses no
+    // lock and leaves nothing to free twice.
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cell.publish(mk(false));
+    }));
+    assert!(unwound.is_err(), "payload drop panic must propagate");
+    assert_eq!(drops.load(SeqCst), 2, "boom payload dropped exactly once");
+    assert_eq!(cell.retired_len(), 0, "freed record left in retired list");
+    // The cell keeps working: publishes still reclaim, counts stay exact.
+    cell.publish(mk(false));
+    assert_eq!(drops.load(SeqCst), 3);
+    assert_eq!(cell.pin().drops.load(SeqCst), 3);
+    drop(cell);
+    assert_eq!(drops.load(SeqCst), 4);
+}

@@ -17,6 +17,11 @@ use pwe_geom::point::GridPoint;
 /// [`Answer::Located`] triple.
 pub const GHOST_SITE: u64 = u64::MAX;
 
+/// Sentinel shard index naming the replicated Delaunay mesh in
+/// [`StaleShard::shard`] and [`ApplyReport::quarantined`] (the mesh is not
+/// a shard, but it quarantines like one).
+pub const MESH_SHARD: u32 = u32::MAX;
+
 /// One element mutation.  Ids name elements for deletion and in answers;
 /// callers keep them unique per element family (interval / point / site).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +53,26 @@ pub enum Update {
 pub struct UpdateBatch {
     /// The mutations, applied in order.
     pub updates: Vec<Update>,
+}
+
+/// What one `apply` call did: the containment layer's writer-side report.
+/// Outside an armed fault plan every batch publishes cleanly
+/// (`published == true`, `quarantined` empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// The generation id this batch was assembled for.  When
+    /// `published`, the id now serving; when the publish aborted, the id
+    /// the *next* successful publish will use (the update batch itself
+    /// is durably applied either way and will be served then).
+    pub gen_id: u64,
+    /// Whether the assembled generation was committed to readers.  False
+    /// only when a fault struck the publish commit step; the authoritative
+    /// element state and all successfully rebuilt shards are retained.
+    pub published: bool,
+    /// Entries stale in the assembled generation: shard indices (and
+    /// [`MESH_SHARD`]) whose rebuild is quarantined, serving their
+    /// last-good snapshot under retry-with-backoff.
+    pub quarantined: Vec<u32>,
 }
 
 /// One query against the pinned generation.
@@ -120,12 +145,39 @@ pub enum Answer {
     Located(Option<[u64; 3]>),
 }
 
+/// One stale entry of the generation a batch was served from: the shard
+/// (or [`MESH_SHARD`]) whose structures are a quarantined last-good
+/// snapshot, and the previously-published generation its content equals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleShard {
+    /// Shard index, or [`MESH_SHARD`] for the replicated mesh.
+    pub shard: u32,
+    /// The generation whose update prefix this entry's content matches;
+    /// always previously published and `< gen_id`.
+    pub data_gen: u64,
+}
+
 /// A batch of answers: every entry was computed against the single
 /// generation named by `gen_id` — the snapshot-isolation contract.
+///
+/// Failure containment (MODEL.md §6) adds the staleness contract: when a
+/// shard rebuild was quarantined, the generation still publishes with
+/// that shard's last-good snapshot, and every batch served from it
+/// reports which entries lag ([`stale_shards`](Self::stale_shards)) and
+/// whether any answer in *this* batch could be affected
+/// ([`degraded`](Self::degraded)).  Outside an armed fault plan both
+/// fields are trivially empty/false, so batch equality across shard
+/// counts (the `shard_equiv` pin) is unperturbed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnswerBatch {
     /// The generation every answer in this batch was served from.
     pub gen_id: u64,
     /// Answers, in query order.
     pub answers: Vec<Answer>,
+    /// True when some query in this batch read a stale entry: any
+    /// non-locate query while a shard is stale (they broadcast to every
+    /// shard), or a locate query while the mesh is stale.
+    pub degraded: bool,
+    /// Every stale entry of the serving generation (empty when healthy).
+    pub stale_shards: Vec<StaleShard>,
 }

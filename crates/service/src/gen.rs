@@ -33,6 +33,7 @@ use pwe_geom::point::{GridPoint, Point2};
 use pwe_geom::predicates::orient2d_det;
 use pwe_kdtree::build::{build_p_batched, recommended_p};
 use pwe_kdtree::tree::KdTree;
+use pwe_primitives::faultpoint::InjectedFault;
 use pwe_primitives::permute::random_permutation;
 use pwe_trace::dag::TraceDag;
 
@@ -97,27 +98,47 @@ pub struct ShardGen {
 
 impl ShardGen {
     /// Build every structure of one shard from its element sets, through
-    /// the parallel write-efficient engines.
+    /// the parallel write-efficient engines.  Panics on an injected fault:
+    /// use [`try_build`](Self::try_build) inside a containment layer.
     pub fn build(data: &ShardData) -> ShardGen {
+        match Self::try_build(data, 0) {
+            Ok(g) => g,
+            Err(f) => panic!("ShardGen::build outside a containment layer: {f}"),
+        }
+    }
+
+    /// Fallible twin of [`build`](Self::build): passes the named fault
+    /// sites `service.rebuild.{interval,range,pst,kd}` between structure
+    /// builds.  `fault_key` is the caller's stable task key (the shard
+    /// index): rebuilds of different shards run concurrently, and keying
+    /// each shard's hit stream by its index is what keeps an armed
+    /// schedule thread-count-independent (see
+    /// [`pwe_primitives::faultpoint`]).  With `faultinject` off the sites
+    /// vanish and this is exactly `build`.
+    pub fn try_build(data: &ShardData, fault_key: u64) -> Result<ShardGen, InjectedFault> {
+        pwe_primitives::fault_point!("service.rebuild.interval", fault_key);
         let interval = IntervalTree::build_parallel(&data.intervals, SERVICE_ALPHA);
+        pwe_primitives::fault_point!("service.rebuild.range", fault_key);
         let range = RangeTree2D::build(&data.points, SERVICE_ALPHA);
         // alloc: large-mem — the PST's input copy in PsPoint form (n words)
         let ps: Vec<PsPoint> = data.points.iter().map(ps_point).collect();
+        pwe_primitives::fault_point!("service.rebuild.pst", fault_key);
         let pst = PrioritySearchTree::build_parallel(&ps);
         // alloc: large-mem — the k-d build's input copy (n points)
         let pts: Vec<Point2> = data.points.iter().map(|p| p.point).collect();
         let n = pts.len();
+        pwe_primitives::fault_point!("service.rebuild.kd", fault_key);
         let (kd, _stats) = build_p_batched(&pts, recommended_p(n), KD_LEAF_CAPACITY, KD_SEED);
         let perm = random_permutation(n, KD_SEED);
         // alloc: large-mem — the tree-index → external-id map (n words)
         let kd_ids: Vec<u64> = perm.iter().map(|&i| data.points[i].id).collect();
-        ShardGen {
+        Ok(ShardGen {
             interval,
             range,
             pst,
             kd,
             kd_ids,
-        }
+        })
     }
 
     /// Ids of the intervals containing `x` (shard-local, unsorted).
@@ -199,9 +220,23 @@ pub struct MeshGen {
 impl MeshGen {
     /// Triangulate `sites` with the write-efficient engine.  `site_ids`
     /// gives each site's external id; the engine's fixed-seed random
-    /// insertion order is reproduced here to key the answer map.
+    /// insertion order is reproduced here to key the answer map.  Panics
+    /// on an injected fault: use [`try_build`](Self::try_build) inside a
+    /// containment layer.
     pub fn build(sites: &[GridPoint], site_ids: &[u64]) -> MeshGen {
+        match Self::try_build(sites, site_ids) {
+            Ok(g) => g,
+            Err(f) => panic!("MeshGen::build outside a containment layer: {f}"),
+        }
+    }
+
+    /// Fallible twin of [`build`](Self::build): passes the named fault
+    /// site `service.rebuild.mesh` (key 0 — the replicated mesh rebuilds
+    /// sequentially in the single writer, so its hit stream is already
+    /// schedule-independent).
+    pub fn try_build(sites: &[GridPoint], site_ids: &[u64]) -> Result<MeshGen, InjectedFault> {
         debug_assert_eq!(sites.len(), site_ids.len());
+        pwe_primitives::fault_point!("service.rebuild.mesh");
         let mesh = triangulate_write_efficient(sites, MESH_SEED);
         let perm = random_permutation(sites.len(), MESH_SEED);
         // alloc: large-mem — the mesh-vertex → site-id map (n + 3 words)
@@ -209,10 +244,10 @@ impl MeshGen {
         ids.extend_from_slice(&[GHOST_SITE; 3]);
         ids.extend(perm.iter().map(|&i| site_ids[i]));
         debug_assert_eq!(ids.len(), mesh.points.len());
-        MeshGen {
+        Ok(MeshGen {
             mesh,
             site_ids: ids,
-        }
+        })
     }
 
     /// Locate the alive triangle containing `q` by tracing the history DAG
@@ -324,17 +359,48 @@ impl TraceDag for LocateDag<'_> {
     }
 }
 
+/// Freshness of one entry (a shard bundle, or the mesh) of a published
+/// generation — the staleness contract of the containment layer
+/// (MODEL.md §6, "Failure semantics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// True when the entry is a quarantined structure's *last-good*
+    /// snapshot: its content lags the generation's update prefix.
+    pub stale: bool,
+    /// The previously-published generation whose update prefix the
+    /// entry's content equals.  Equals the enclosing generation's
+    /// `gen_id` exactly when `!stale`.
+    pub data_gen: u64,
+}
+
+impl ShardStatus {
+    /// A fresh entry of generation `gen_id`.
+    pub fn fresh(gen_id: u64) -> ShardStatus {
+        ShardStatus {
+            stale: false,
+            data_gen: gen_id,
+        }
+    }
+}
+
 /// One published generation of the whole service: per-shard structure
 /// bundles plus the replicated mesh.  Shards untouched by an update batch
 /// are shared (`Arc`) with the previous generation, so a small batch
-/// rebuilds only what it dirtied.
+/// rebuilds only what it dirtied.  When a rebuild fails (injected fault,
+/// engine panic) the writer still publishes — the failed entry keeps its
+/// last-good snapshot and its [`ShardStatus`] marks it stale.
 pub struct ServiceGen {
     /// Generation number (0 is the empty initial generation).
     pub gen_id: u64,
     /// Per-shard structure bundles.
     pub shards: Vec<Arc<ShardGen>>,
+    /// Freshness of each entry of `shards` (always all-fresh outside an
+    /// armed fault plan).
+    pub status: Vec<ShardStatus>,
     /// The replicated Delaunay generation.
     pub mesh: Arc<MeshGen>,
+    /// Freshness of `mesh`.
+    pub mesh_status: ShardStatus,
 }
 
 impl ServiceGen {

@@ -21,9 +21,18 @@
 //! and a concurrent history checkable against a sequential replay (the
 //! `churn` suite).
 //!
+//! Failure containment (MODEL.md §6, "Failure semantics"): every shard
+//! rebuild runs under `catch_unwind`; a failed rebuild quarantines the
+//! shard, which keeps serving its last-good snapshot (stale-flagged in
+//! every [`api::AnswerBatch`]) under a deterministic tick-counted
+//! retry-with-backoff schedule.  The failure paths are exercised by the
+//! deterministic fault-injection subsystem
+//! ([`pwe_primitives::faultpoint`], default-off `faultinject` feature)
+//! and pinned by the `fault_equiv` chaos suite.
+//!
 //! * [`api`] — the batched wire types: [`api::UpdateBatch`] in,
 //!   [`api::QueryBatch`] → [`api::AnswerBatch`] out (answers carry the
-//!   generation they were served from).
+//!   generation they were served from, plus the staleness contract).
 //! * [`router`] — the deterministic shard router (hash-partitioned
 //!   intervals and points, replicated Delaunay sites).
 //! * [`gen`] — generation building through the existing engines.
@@ -37,6 +46,9 @@ pub mod gen;
 pub mod router;
 pub mod service;
 
-pub use api::{Answer, AnswerBatch, NearestHit, Query, QueryBatch, Update, UpdateBatch};
+pub use api::{
+    Answer, AnswerBatch, ApplyReport, NearestHit, Query, QueryBatch, StaleShard, Update,
+    UpdateBatch, MESH_SHARD,
+};
 pub use router::ShardRouter;
-pub use service::GeometryService;
+pub use service::{GeometryService, ServiceStats};

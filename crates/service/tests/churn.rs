@@ -15,6 +15,10 @@
 //! The update stream is pre-generated deterministically (seeded StdRng)
 //! before any concurrency starts, so the sequential replay consumes the
 //! byte-identical stream.
+//!
+//! CI's faultinject leg also compiles this suite with the `faultinject`
+//! feature (no plan armed): the digest-equality invariant doubles as the
+//! proof that unarmed fault sites leave generation content bit-identical.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

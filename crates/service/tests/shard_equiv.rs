@@ -11,6 +11,11 @@
 //! delete-heavy batch exercises the incremental path where only dirtied
 //! shards rebuild and clean shards are structurally shared with the
 //! previous generation.
+//!
+//! CI's faultinject leg also compiles this suite with the `faultinject`
+//! feature (no plan armed): unarmed fault sites must not perturb answers,
+//! and the new `AnswerBatch` staleness fields are empty/false on every
+//! healthy batch, so cross-shard-count batch equality still holds bitwise.
 
 use proptest::prelude::*;
 

@@ -12,6 +12,11 @@
 //! CI matrix runs this file at `RAYON_NUM_THREADS ∈ {1, 4}`, with and
 //! without `racecheck`: at one thread the arms serialize (every batch then
 //! sees the final generation), at four they interleave for real.
+//!
+//! CI's faultinject leg also compiles this suite with the `faultinject`
+//! feature (no plan armed): every fault site must be a true no-op when
+//! unarmed, so the snapshot-isolation property must hold unchanged.  The
+//! explicit unarmed-is-a-no-op digest pin lives in `fault_equiv.rs`.
 
 use proptest::prelude::*;
 
